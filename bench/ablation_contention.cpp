@@ -1,0 +1,57 @@
+//===- bench/ablation_contention.cpp - Shared-resource interference -------===//
+///
+/// \file
+/// Ablation J: the default driver runs a parallel phase's CPU segment and
+/// GPU segment back to back against shared uncore state; the interleaved
+/// mode alternates time-ordered slices so the PUs genuinely contend for
+/// the L3, NoC, and DRAM. The difference quantifies cross-PU memory
+/// interference — small with four DRAM channels, visible when the shared
+/// memory system is squeezed to one channel.
+///
+//===----------------------------------------------------------------------===//
+
+#include "common/StringUtil.h"
+#include "core/Experiments.h"
+
+#include <cstdio>
+
+using namespace hetsim;
+
+namespace {
+double parallelUs(CaseStudy Study, KernelId Kernel, bool Interleaved,
+                  unsigned Channels) {
+  ConfigStore Overrides;
+  Overrides.setBool("sys.interleaved_contention", Interleaved);
+  SystemConfig Config = SystemConfig::forCaseStudy(Study, Overrides);
+  Config.Hier.Dram.Channels = Channels;
+  HeteroSimulator Sim(Config);
+  return Sim.run(Kernel).Time.ParallelNs / 1e3;
+}
+} // namespace
+
+int main() {
+  std::printf("=== Ablation J: cross-PU memory interference (IDEAL "
+              "system) ===\n\n");
+
+  TextTable Table({"kernel", "channels", "sequential-pass par_us",
+                   "interleaved par_us", "interference"});
+  for (KernelId Kernel : {KernelId::Reduction, KernelId::MergeSort}) {
+    for (unsigned Channels : {4u, 1u}) {
+      double Plain =
+          parallelUs(CaseStudy::IdealHetero, Kernel, false, Channels);
+      double Inter =
+          parallelUs(CaseStudy::IdealHetero, Kernel, true, Channels);
+      Table.addRow({kernelName(Kernel), std::to_string(Channels),
+                    formatDouble(Plain, 1), formatDouble(Inter, 1),
+                    formatPercent(Inter / Plain - 1.0)});
+    }
+  }
+  std::printf("%s\n", Table.render().c_str());
+  std::printf("Enable with sys.interleaved_contention=true. With one CPU\n"
+              "and one GPU core the interference is second-order (a few\n"
+              "percent on the streaming kernel, none on cache-resident\n"
+              "ones): the paper's single-core-per-PU baseline justifiably\n"
+              "ignores it, but the knob is what a many-core study of the\n"
+              "integrated designs would sweep.\n");
+  return 0;
+}

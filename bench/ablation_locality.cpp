@@ -1,0 +1,92 @@
+//===- bench/ablation_locality.cpp - Hybrid shared-cache locality ---------===//
+///
+/// \file
+/// Ablation C: the hybrid locality management of Section II-B5. A victim
+/// working set is pinned in the shared L3 with explicit `push` operations
+/// while a streaming interloper sweeps a large range. Under plain LRU the
+/// stream evicts the victim's lines; under HybridLru explicit blocks are
+/// protected from implicit fills (and the explicit capacity cap keeps one
+/// way free for the stream).
+///
+//===----------------------------------------------------------------------===//
+
+#include "cache/Cache.h"
+#include "common/StringUtil.h"
+#include "common/TextTable.h"
+
+#include <cstdio>
+
+using namespace hetsim;
+
+namespace {
+
+struct SweepResult {
+  double VictimHitRate;
+  unsigned SurvivingExplicitLines;
+  uint64_t BypassedFills;
+};
+
+SweepResult runSweep(ReplacementKind Replacement, uint64_t VictimBytes,
+                     uint64_t StreamBytes) {
+  CacheConfig Config;
+  Config.Name = "l3-slice";
+  Config.SizeBytes = 256 * 1024; // One L3 slice for a fast experiment.
+  Config.Ways = 8;
+  Config.Replacement = Replacement;
+  Cache L3(Config);
+
+  const Addr VictimBase = 0x10000000;
+  const Addr StreamBase = 0x40000000;
+
+  // Explicitly place ("push") the victim working set.
+  for (Addr Offset = 0; Offset < VictimBytes; Offset += CacheLineBytes)
+    L3.access(VictimBase + Offset, false,
+              /*MarkExplicit=*/Replacement == ReplacementKind::HybridLru);
+
+  // A streaming interloper (implicitly managed) sweeps through.
+  for (Addr Offset = 0; Offset < StreamBytes; Offset += CacheLineBytes)
+    L3.access(StreamBase + Offset, false);
+
+  // Measure how much of the victim set survived.
+  uint64_t Hits = 0, Total = 0;
+  L3.resetStats();
+  for (Addr Offset = 0; Offset < VictimBytes; Offset += CacheLineBytes) {
+    if (L3.probe(VictimBase + Offset))
+      ++Hits;
+    ++Total;
+  }
+  SweepResult Result;
+  Result.VictimHitRate = double(Hits) / double(Total);
+  Result.SurvivingExplicitLines = L3.residentExplicitLines();
+  Result.BypassedFills = L3.stats().BypassedFills;
+  return Result;
+}
+
+} // namespace
+
+int main() {
+  std::printf("=== Ablation C: hybrid locality in the shared cache "
+              "(Section II-B5) ===\n\n");
+
+  TextTable Table({"victim_set", "stream", "LRU victim survival",
+                   "Hybrid victim survival"});
+  const uint64_t StreamBytes = 4ull << 20;
+  for (uint64_t VictimKb : {32ull, 64ull, 128ull, 192ull}) {
+    uint64_t VictimBytes = VictimKb << 10;
+    SweepResult Lru =
+        runSweep(ReplacementKind::Lru, VictimBytes, StreamBytes);
+    SweepResult Hybrid =
+        runSweep(ReplacementKind::HybridLru, VictimBytes, StreamBytes);
+    Table.addRow({formatBytes(VictimBytes), formatBytes(StreamBytes),
+                  formatPercent(Lru.VictimHitRate),
+                  formatPercent(Hybrid.VictimHitRate)});
+  }
+  std::printf("%s\n", Table.render().c_str());
+
+  std::printf("The implicit stream can never evict explicit blocks, and\n"
+              "the explicit-way cap (ways-1) keeps the stream serviceable\n"
+              "— exactly the two hardware rules Section II-B5 requires:\n"
+              "a locality tag bit compared in replacement, and an explicit\n"
+              "capacity smaller than the physical cache.\n");
+  return 0;
+}

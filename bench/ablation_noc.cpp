@@ -1,0 +1,49 @@
+//===- bench/ablation_noc.cpp - Ring vs mesh interconnect -----------------===//
+///
+/// \file
+/// Ablation I: swap the Table II ring bus for a 2D mesh (Table I's
+/// "interconnection" systems use meshes/fabrics) on the IDEAL system and
+/// compare uncore behaviour. With seven stops the topologies have similar
+/// diameters, so end-to-end numbers barely move — evidence that at this
+/// scale the NoC choice, like the address space, is mostly decoupled from
+/// the communication mechanism.
+///
+//===----------------------------------------------------------------------===//
+
+#include "common/StringUtil.h"
+#include "core/Experiments.h"
+
+#include <cstdio>
+
+using namespace hetsim;
+
+int main() {
+  std::printf("=== Ablation I: ring vs mesh NoC (IDEAL system) ===\n\n");
+
+  TextTable Table({"kernel", "noc", "total_us", "noc msgs", "avg hops",
+                   "contention cyc"});
+  for (KernelId Kernel :
+       {KernelId::Reduction, KernelId::Convolution, KernelId::MergeSort}) {
+    for (const char *Noc : {"ring", "mesh"}) {
+      ConfigStore Overrides;
+      Overrides.set("mem.noc", Noc);
+      SystemConfig Config =
+          SystemConfig::forCaseStudy(CaseStudy::IdealHetero, Overrides);
+      HeteroSimulator Sim(Config);
+      RunResult R = Sim.run(Kernel);
+      const NocStats &Stats = Sim.memory().noc().stats();
+      double AvgHops = Stats.Messages == 0
+                           ? 0.0
+                           : double(Stats.TotalHops) / double(Stats.Messages);
+      Table.addRow({kernelName(Kernel), Noc,
+                    formatDouble(R.Time.totalNs() / 1e3, 1),
+                    formatCount(Stats.Messages), formatDouble(AvgHops, 2),
+                    formatCount(Stats.ContentionCycles)});
+    }
+  }
+  std::printf("%s\n", Table.render().c_str());
+  std::printf("The 3x3 mesh and 7-stop ring have comparable diameters at\n"
+              "this system size; topology becomes a first-order concern\n"
+              "only at many more stops (e.g. Rigel's 1000-core fabric).\n");
+  return 0;
+}

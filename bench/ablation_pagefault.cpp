@@ -1,0 +1,57 @@
+//===- bench/ablation_pagefault.cpp - lib-pf cost sweep -------------------===//
+///
+/// \file
+/// Ablation B: sweep the shared-space page-fault handling cost (lib-pf,
+/// Table IV default 42000) on the LRB system. Page faults are LRB's main
+/// communication overhead; at lib-pf=0 LRB's aperture transfers make it
+/// far cheaper than synchronous PCI-E memcpys, while large lib-pf values
+/// make it the most expensive system.
+///
+//===----------------------------------------------------------------------===//
+
+#include "common/StringUtil.h"
+#include "core/Experiments.h"
+
+#include <cstdio>
+
+using namespace hetsim;
+
+int main() {
+  std::printf("=== Ablation B: lib-pf sweep on LRB ===\n\n");
+
+  HeteroSimulator CpuGpu(SystemConfig::forCaseStudy(CaseStudy::CpuGpu));
+  double PciComm =
+      CpuGpu.run(KernelId::Reduction).Time.CommunicationNs / 1e3;
+  std::printf("CPU+GPU (PCI-E) communication reference: %.1f us\n\n",
+              PciComm);
+
+  TextTable Table({"lib_pf", "page_faults", "comm_us", "total_us",
+                   "vs CPU+GPU comm"});
+  for (uint64_t LibPf :
+       {0ull, 5000ull, 20000ull, 42000ull, 84000ull, 168000ull}) {
+    ConfigStore Overrides;
+    Overrides.setInt("comm.lib_pf", int64_t(LibPf));
+    HeteroSimulator Sim(SystemConfig::forCaseStudy(CaseStudy::Lrb, Overrides));
+    RunResult R = Sim.run(KernelId::Reduction);
+    double Comm = R.Time.CommunicationNs / 1e3;
+    Table.addRow({std::to_string(LibPf), std::to_string(R.PageFaults),
+                  formatDouble(Comm, 1),
+                  formatDouble(R.Time.totalNs() / 1e3, 1),
+                  formatDouble(Comm / PciComm, 2)});
+  }
+  std::printf("%s\n", Table.render().c_str());
+
+  std::printf("GPU page size also sets the fault count (large pages\n"
+              "amortize lib-pf, Section II-A1):\n\n");
+  TextTable Pages({"gpu_page_bytes", "page_faults", "comm_us"});
+  for (uint64_t PageBytes : {4096ull, 16384ull, 65536ull, 262144ull}) {
+    ConfigStore Overrides;
+    Overrides.setInt("mem.gpu_page_bytes", int64_t(PageBytes));
+    HeteroSimulator Sim(SystemConfig::forCaseStudy(CaseStudy::Lrb, Overrides));
+    RunResult R = Sim.run(KernelId::Reduction);
+    Pages.addRow({std::to_string(PageBytes), std::to_string(R.PageFaults),
+                  formatDouble(R.Time.CommunicationNs / 1e3, 1)});
+  }
+  std::printf("%s", Pages.render().c_str());
+  return 0;
+}

@@ -1,0 +1,52 @@
+//===- bench/ablation_prefetch.cpp - L2 stream-prefetch ablation ----------===//
+///
+/// \file
+/// Ablation E: the Table II baseline has no prefetcher; this ablation
+/// adds an L2 stream prefetcher and sweeps its degree. Streaming kernels
+/// (reduction, convolution) gain; the hot-table kernel (k-means) barely
+/// moves; the win is orthogonal to the memory-model choice, supporting
+/// the paper's separation of concerns.
+///
+//===----------------------------------------------------------------------===//
+
+#include "common/StringUtil.h"
+#include "core/Experiments.h"
+
+#include <cstdio>
+
+using namespace hetsim;
+
+int main() {
+  std::printf("=== Ablation E: L2 stream prefetching (IDEAL system) "
+              "===\n\n");
+
+  TextTable Table({"kernel", "no prefetch us", "degree=1", "degree=2",
+                   "degree=4", "best gain"});
+  for (KernelId Kernel :
+       {KernelId::Reduction, KernelId::Convolution, KernelId::MergeSort,
+        KernelId::KMeans}) {
+    std::vector<double> Totals;
+    {
+      HeteroSimulator Sim(SystemConfig::forCaseStudy(CaseStudy::IdealHetero));
+      Totals.push_back(Sim.run(Kernel).Time.totalNs() / 1e3);
+    }
+    for (unsigned Degree : {1u, 2u, 4u}) {
+      ConfigStore Overrides;
+      Overrides.setBool("mem.l2_prefetch", true);
+      Overrides.setInt("mem.prefetch_degree", Degree);
+      HeteroSimulator Sim(
+          SystemConfig::forCaseStudy(CaseStudy::IdealHetero, Overrides));
+      Totals.push_back(Sim.run(Kernel).Time.totalNs() / 1e3);
+    }
+    double Best = *std::min_element(Totals.begin() + 1, Totals.end());
+    Table.addRow({kernelName(Kernel), formatDouble(Totals[0], 1),
+                  formatDouble(Totals[1], 1), formatDouble(Totals[2], 1),
+                  formatDouble(Totals[3], 1),
+                  formatPercent(1.0 - Best / Totals[0])});
+  }
+  std::printf("%s\n", Table.render().c_str());
+  std::printf("Prefetching shortens parallel/sequential compute only; it\n"
+              "does not change communication costs, so the case-study\n"
+              "orderings of Figures 5/6 are unaffected.\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+//===- bench/microbench.cpp - Simulator micro-benchmarks ------------------===//
+///
+/// \file
+/// google-benchmark measurements of the simulator's own building blocks:
+/// cache access, DRAM scheduling, ring traversal, branch prediction,
+/// trace generation, and a full small kernel run. These track simulator
+/// performance, not paper results.
+///
+//===----------------------------------------------------------------------===//
+
+#include "cache/Cache.h"
+#include "core/Experiments.h"
+#include "cpu/BranchPredictor.h"
+#include "dram/Dram.h"
+#include "interconnect/RingBus.h"
+#include "trace/KernelTraceGenerator.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace hetsim;
+
+static void BM_CacheAccess(benchmark::State &State) {
+  Cache L1(CacheConfig::cpuL1D());
+  Addr A = 0;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(L1.access(A, false));
+    A += CacheLineBytes;
+    A &= (1 << 20) - 1;
+  }
+}
+BENCHMARK(BM_CacheAccess);
+
+static void BM_DramAccess(benchmark::State &State) {
+  DramSystem Dram;
+  Addr A = 0;
+  Cycle Now = 0;
+  for (auto _ : State) {
+    Now = Dram.access(A, Now, false);
+    A += CacheLineBytes;
+  }
+}
+BENCHMARK(BM_DramAccess);
+
+static void BM_DramFrFcfsBatch(benchmark::State &State) {
+  for (auto _ : State) {
+    DramSystem Dram;
+    for (unsigned I = 0; I != 256; ++I)
+      Dram.enqueue(64 * I, false);
+    benchmark::DoNotOptimize(Dram.drainFrFcfs(0));
+  }
+}
+BENCHMARK(BM_DramFrFcfsBatch);
+
+static void BM_RingTraverse(benchmark::State &State) {
+  RingBus Ring;
+  Cycle Now = 0;
+  for (auto _ : State) {
+    Now = Ring.traverse(ring::CpuStop, ring::MemCtrlStop, Now);
+  }
+}
+BENCHMARK(BM_RingTraverse);
+
+static void BM_GsharePredict(benchmark::State &State) {
+  GsharePredictor Predictor;
+  Addr Pc = 0x400;
+  bool Taken = true;
+  for (auto _ : State) {
+    Predictor.update(Pc, Taken);
+    Pc += 4;
+    Taken = !Taken;
+  }
+}
+BENCHMARK(BM_GsharePredict);
+
+static void BM_TraceGeneration(benchmark::State &State) {
+  KernelDataLayout Layout =
+      KernelDataLayout::makeLinear(KernelId::Reduction, 0x10000000);
+  GenRequest Req;
+  Req.Pu = PuKind::Cpu;
+  Req.InstCount = 10000;
+  for (auto _ : State) {
+    TraceBuffer Trace = KernelTraceGenerator::forKernel(KernelId::Reduction)
+                            .generateCompute(Req, Layout);
+    benchmark::DoNotOptimize(Trace.size());
+  }
+  State.SetItemsProcessed(State.iterations() * 10000);
+}
+BENCHMARK(BM_TraceGeneration);
+
+static void BM_FullKernelRun(benchmark::State &State) {
+  SystemConfig Config = SystemConfig::forCaseStudy(CaseStudy::CpuGpu);
+  for (auto _ : State) {
+    HeteroSimulator Sim(Config);
+    RunResult R = Sim.run(KernelId::Reduction);
+    benchmark::DoNotOptimize(R.Time.totalNs());
+  }
+}
+BENCHMARK(BM_FullKernelRun)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

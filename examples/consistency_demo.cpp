@@ -1,0 +1,76 @@
+//===- examples/consistency_demo.cpp - Memory-model race checking ---------===//
+///
+/// \file
+/// Demonstrates the consistency machinery: all the paper's systems are
+/// weakly consistent (Table I), so cross-PU visibility needs explicit
+/// synchronization. This example (1) verifies the lowered case-study
+/// programs are race-free, (2) shows the checker catching a hand-built
+/// racy history — a CPU that updates an input after launching the kernel
+/// — and (3) shows how ownership transfers (the LRB model) order the
+/// same history.
+///
+/// Build & run:  ./build/examples/consistency_demo
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/ConsistencyValidation.h"
+
+#include <cstdio>
+
+using namespace hetsim;
+
+int main() {
+  // 1. Every lowered case-study program is race-free under weak
+  //    consistency (the driver also asserts this on every run).
+  std::printf("1. Lowered programs under weak consistency\n\n");
+  for (CaseStudy Study : allCaseStudies()) {
+    SystemConfig Config = SystemConfig::forCaseStudy(Study);
+    bool AllFree = true;
+    for (KernelId Kernel : allKernels()) {
+      if (Kernel == KernelId::MatrixMul || Kernel == KernelId::Dct)
+        continue; // Identical structure; skip the big traces.
+      AllFree &= validateRaceFree(lowerKernel(Kernel, Config));
+    }
+    std::printf("   %-14s %s\n", caseStudyName(Study),
+                AllFree ? "race-free" : "RACY");
+  }
+
+  // 2. A broken program: the host updates an input after launching the
+  //    kernel that reads it.
+  std::printf("\n2. A late host update races with the running kernel\n\n");
+  ConsistencyChecker Racy(ConsistencyModel::Weak);
+  Racy.write(PuKind::Cpu, "in");
+  Racy.kernelLaunch();
+  Racy.write(PuKind::Cpu, "in"); // Late update: not ordered before...
+  Racy.read(PuKind::Gpu, "in");  // ...the kernel's read.
+  for (const ConsistencyViolation &V : Racy.check())
+    std::printf("   violation: %s (events %zu -> %zu)\n",
+                V.Description.c_str(), V.EarlierIndex, V.LaterIndex);
+
+  // 3. The LRB fix: transfer ownership around the late update.
+  std::printf("\n3. Ownership transfer (Figure 2(b)) repairs it\n\n");
+  ConsistencyChecker Fixed(ConsistencyModel::Weak);
+  Fixed.write(PuKind::Cpu, "in");
+  Fixed.kernelLaunch();
+  Fixed.write(PuKind::Cpu, "in");
+  Fixed.release(PuKind::Cpu, "in");  // releaseOwnership(in);
+  Fixed.acquire(PuKind::Gpu, "in");  // kernel-side acquireOwnership(in);
+  Fixed.read(PuKind::Gpu, "in");
+  std::printf("   with release/acquire: %s\n",
+              Fixed.isRaceFree() ? "race-free" : "STILL RACY");
+
+  // 4. Under strong consistency the same history has defined outcomes.
+  ConsistencyChecker Strong(ConsistencyModel::Strong);
+  Strong.write(PuKind::Cpu, "in");
+  Strong.kernelLaunch();
+  Strong.write(PuKind::Cpu, "in");
+  Strong.read(PuKind::Gpu, "in");
+  std::printf("\n4. Same history under strong consistency: %s\n",
+              Strong.isRaceFree() ? "defined (no undefined races)"
+                                  : "racy");
+  std::printf("\nThis is why the paper calls the unified, fully coherent,\n"
+              "strongly consistent system IDEAL: programmers get defined\n"
+              "behaviour without inserting any of the synchronization the\n"
+              "weaker (cheaper) models require.\n");
+  return 0;
+}

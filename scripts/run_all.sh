@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Reproduces every table, figure, and ablation into an output directory.
+#
+# Usage: scripts/run_all.sh [outdir]   (default: out/)
+set -u
+OUT="${1:-out}"
+mkdir -p "$OUT"
+export HETSIM_CSV_DIR="$OUT"
+
+echo "== building =="
+cmake -B build -G Ninja >/dev/null
+cmake --build build >/dev/null
+
+echo "== tests =="
+ctest --test-dir build 2>&1 | tee "$OUT/test_output.txt" | tail -2
+
+echo "== tables, figures, ablations =="
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  name=$(basename "$b")
+  echo "-- $name"
+  "$b" > "$OUT/$name.txt" 2>&1
+done
+
+echo "== examples =="
+for e in build/examples/*; do
+  [ -f "$e" ] && [ -x "$e" ] || continue
+  name=$(basename "$e")
+  "$e" > "$OUT/example_$name.txt" 2>&1
+done
+
+echo "done: results in $OUT/"

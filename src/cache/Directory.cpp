@@ -1,0 +1,119 @@
+//===- cache/Directory.cpp ------------------------------------------------===//
+
+#include "cache/Directory.h"
+
+#include <cassert>
+
+using namespace hetsim;
+
+CoherenceAction Directory::onAccess(PuKind Requestor, Addr LineAddress,
+                                    bool IsWrite) {
+  ++Stats.Lookups;
+  CoherenceAction Action;
+  Entry &E = Entries[LineAddress];
+
+  const DirState MyExclusive = Requestor == PuKind::Cpu
+                                   ? DirState::ExclusiveCpu
+                                   : DirState::ExclusiveGpu;
+  [[maybe_unused]] const DirState RemoteExclusive =
+      Requestor == PuKind::Cpu ? DirState::ExclusiveGpu
+                               : DirState::ExclusiveCpu;
+
+  switch (E.State) {
+  case DirState::Uncached:
+    E.State = MyExclusive;
+    E.Dirty = IsWrite;
+    break;
+
+  case DirState::SharedBoth:
+    if (IsWrite) {
+      // Upgrade: invalidate the other sharer.
+      Action.InvalidateRemote = true;
+      Action.Messages = 2; // invalidate + ack
+      E.State = MyExclusive;
+      E.Dirty = true;
+    }
+    break;
+
+  default:
+    if (E.State == MyExclusive) {
+      if (IsWrite)
+        E.Dirty = true;
+      break;
+    }
+    assert(E.State == RemoteExclusive && "inconsistent directory state");
+    if (E.Dirty) {
+      Action.FetchFromRemote = true;
+      ++Stats.RemoteFetches;
+      Action.Messages += 2; // fetch request + data reply
+    }
+    if (IsWrite) {
+      Action.InvalidateRemote = true;
+      Action.Messages += 2; // invalidate + ack
+      E.State = MyExclusive;
+      E.Dirty = true;
+    } else {
+      E.State = DirState::SharedBoth;
+      E.Dirty = false; // remote wrote back on the fetch
+    }
+    break;
+  }
+
+  if (Action.InvalidateRemote)
+    ++Stats.RemoteInvalidations;
+  Stats.Messages += Action.Messages;
+
+  if (E.State == DirState::Uncached)
+    Entries.erase(LineAddress);
+  return Action;
+}
+
+void Directory::onEviction(PuKind Pu, Addr LineAddress) {
+  auto It = Entries.find(LineAddress);
+  if (It == Entries.end())
+    return;
+  Entry &E = It->second;
+  switch (E.State) {
+  case DirState::Uncached:
+    break;
+  case DirState::SharedBoth:
+    // The other PU becomes the sole (clean) holder.
+    E.State = Pu == PuKind::Cpu ? DirState::ExclusiveGpu
+                                : DirState::ExclusiveCpu;
+    E.Dirty = false;
+    return;
+  case DirState::ExclusiveCpu:
+    if (Pu != PuKind::Cpu)
+      return; // Stale notification; ignore.
+    break;
+  case DirState::ExclusiveGpu:
+    if (Pu != PuKind::Gpu)
+      return;
+    break;
+  }
+  Entries.erase(It);
+}
+
+DirState Directory::state(Addr LineAddress) const {
+  auto It = Entries.find(LineAddress);
+  return It == Entries.end() ? DirState::Uncached : It->second.State;
+}
+
+bool Directory::isSharer(PuKind Pu, Addr LineAddress) const {
+  switch (state(LineAddress)) {
+  case DirState::Uncached:
+    return false;
+  case DirState::SharedBoth:
+    return true;
+  case DirState::ExclusiveCpu:
+    return Pu == PuKind::Cpu;
+  case DirState::ExclusiveGpu:
+    return Pu == PuKind::Gpu;
+  }
+  return false;
+}
+
+void Directory::clear() {
+  Entries.clear();
+  Stats = DirectoryStats();
+}

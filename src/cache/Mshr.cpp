@@ -1,0 +1,59 @@
+//===- cache/Mshr.cpp -----------------------------------------------------===//
+
+#include "cache/Mshr.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace hetsim;
+
+void MshrFile::prune(Cycle Now) {
+  for (auto It = Entries.begin(); It != Entries.end();) {
+    if (It->second <= Now)
+      It = Entries.erase(It);
+    else
+      ++It;
+  }
+}
+
+MshrDecision MshrFile::onMiss(Addr LineAddress, Cycle Now, Cycle FillDone) {
+  assert(FillDone >= Now && "fill completes in the past");
+  MshrDecision Decision;
+  prune(Now);
+
+  auto It = Entries.find(LineAddress);
+  if (It != Entries.end()) {
+    ++Merged;
+    Decision.Merged = true;
+    Decision.ReadyCycle = It->second;
+    return Decision;
+  }
+
+  Cycle IssueCycle = Now;
+  if (Entries.size() >= Capacity) {
+    // Stall until the earliest in-flight fill retires its entry.
+    Cycle Earliest = FillDone;
+    for (const auto &KV : Entries)
+      Earliest = std::min(Earliest, KV.second);
+    ++FullStalls;
+    Decision.StallCycles = Earliest > Now ? Earliest - Now : 0;
+    IssueCycle = Earliest;
+    prune(IssueCycle);
+  }
+
+  Cycle Done = FillDone + Decision.StallCycles;
+  Entries[LineAddress] = Done;
+  Decision.ReadyCycle = Done;
+  return Decision;
+}
+
+unsigned MshrFile::inFlight(Cycle Now) {
+  prune(Now);
+  return unsigned(Entries.size());
+}
+
+void MshrFile::clear() {
+  Entries.clear();
+  Merged = 0;
+  FullStalls = 0;
+}

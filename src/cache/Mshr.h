@@ -1,0 +1,61 @@
+//===- cache/Mshr.h - Miss-status holding registers -------------*- C++ -*-===//
+///
+/// \file
+/// MSHRs track outstanding line fills so that concurrent misses to the same
+/// line merge onto one fill, and so a full MSHR file back-pressures the
+/// core. The latency-walk timing model uses completion cycles rather than
+/// events: an entry is live while its completion cycle is in the future.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HETSIM_CACHE_MSHR_H
+#define HETSIM_CACHE_MSHR_H
+
+#include "common/Types.h"
+
+#include <unordered_map>
+
+namespace hetsim {
+
+/// Outcome of checking the MSHR file before issuing a miss.
+struct MshrDecision {
+  /// True if the miss merged onto an in-flight fill of the same line.
+  bool Merged = false;
+  /// Cycle at which the (merged or newly allocated) fill completes.
+  Cycle ReadyCycle = 0;
+  /// Extra cycles the requester stalled because the file was full.
+  Cycle StallCycles = 0;
+};
+
+/// A bounded file of in-flight line fills.
+class MshrFile {
+public:
+  explicit MshrFile(unsigned NumEntries) : Capacity(NumEntries) {}
+
+  /// Records a miss on \p LineAddress observed at \p Now that would
+  /// complete at \p FillDone if it issues immediately. Handles merging and
+  /// full-file stalls; returns the final decision.
+  MshrDecision onMiss(Addr LineAddress, Cycle Now, Cycle FillDone);
+
+  /// Number of entries still in flight at \p Now (lazily pruned).
+  unsigned inFlight(Cycle Now);
+
+  unsigned capacity() const { return Capacity; }
+
+  uint64_t mergedCount() const { return Merged; }
+  uint64_t fullStallCount() const { return FullStalls; }
+
+  void clear();
+
+private:
+  void prune(Cycle Now);
+
+  unsigned Capacity;
+  std::unordered_map<Addr, Cycle> Entries; // line -> completion cycle
+  uint64_t Merged = 0;
+  uint64_t FullStalls = 0;
+};
+
+} // namespace hetsim
+
+#endif // HETSIM_CACHE_MSHR_H

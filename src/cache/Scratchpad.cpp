@@ -1,0 +1,59 @@
+//===- cache/Scratchpad.cpp -----------------------------------------------===//
+
+#include "cache/Scratchpad.h"
+
+#include "common/Error.h"
+
+using namespace hetsim;
+
+Cycle Scratchpad::access(Addr Offset, uint32_t Bytes, bool IsWrite) {
+  if (Offset + Bytes > SizeBytes)
+    fatalError("scratchpad access out of bounds");
+  if (IsWrite)
+    ++Writes;
+  else
+    ++Reads;
+  return AccessLatency;
+}
+
+unsigned Scratchpad::conflictDegree(Addr Offset, unsigned Lanes,
+                                    uint32_t StrideBytes) const {
+  if (Lanes <= 1)
+    return 1;
+  // Words interleave across banks; count lanes per bank. Lanes hitting
+  // the SAME word broadcast (no conflict), so track distinct words.
+  unsigned Worst = 1;
+  for (unsigned Bank = 0; Bank != NumBanks; ++Bank) {
+    unsigned Count = 0;
+    Addr SeenWord = ~Addr(0);
+    for (unsigned Lane = 0; Lane != Lanes; ++Lane) {
+      Addr Word = (Offset + Addr(Lane) * StrideBytes) / 4;
+      if (Word % NumBanks != Bank)
+        continue;
+      if (Word == SeenWord)
+        continue; // Broadcast.
+      SeenWord = Word;
+      ++Count;
+    }
+    if (Count > Worst)
+      Worst = Count;
+  }
+  return Worst;
+}
+
+Cycle Scratchpad::warpAccess(Addr Offset, uint32_t BytesPerLane,
+                             unsigned Lanes, uint32_t StrideBytes,
+                             bool IsWrite) {
+  Addr Last = Offset + (Lanes > 0 ? (Lanes - 1) * Addr(StrideBytes) : 0) +
+              BytesPerLane;
+  if (Last > SizeBytes)
+    fatalError("scratchpad access out of bounds");
+  if (IsWrite)
+    ++Writes;
+  else
+    ++Reads;
+  unsigned Degree = conflictDegree(Offset, Lanes, StrideBytes);
+  if (Degree > 1)
+    BankConflicts += Degree - 1;
+  return AccessLatency * Degree;
+}

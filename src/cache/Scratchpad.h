@@ -1,0 +1,61 @@
+//===- cache/Scratchpad.h - Software-managed cache --------------*- C++ -*-===//
+///
+/// \file
+/// The GPU's 16KB software-managed cache (Table II). Explicitly managed:
+/// accesses are bounds-checked offsets with a fixed latency — there are no
+/// misses, which is the defining property the locality-management
+/// discussion (Section II-B) relies on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HETSIM_CACHE_SCRATCHPAD_H
+#define HETSIM_CACHE_SCRATCHPAD_H
+
+#include "common/Types.h"
+
+namespace hetsim {
+
+/// A fixed-latency explicitly-managed local store with banked access:
+/// like Fermi's shared memory, the store has NumBanks word-interleaved
+/// banks, and a warp access whose lanes collide on a bank serializes by
+/// the conflict degree.
+class Scratchpad {
+public:
+  Scratchpad(uint64_t SizeBytes, Cycle AccessLatency, unsigned NumBanks = 16)
+      : SizeBytes(SizeBytes), AccessLatency(AccessLatency),
+        NumBanks(NumBanks) {}
+
+  /// Latency of a scalar access at \p Offset; aborts on out-of-bounds
+  /// offsets (an explicit-management bug in the client).
+  Cycle access(Addr Offset, uint32_t Bytes, bool IsWrite);
+
+  /// Latency of a warp access: \p Lanes lanes starting at \p Offset with
+  /// \p StrideBytes between lanes. Bank conflicts multiply the base
+  /// latency by the worst per-bank collision count.
+  Cycle warpAccess(Addr Offset, uint32_t BytesPerLane, unsigned Lanes,
+                   uint32_t StrideBytes, bool IsWrite);
+
+  /// Worst-case lanes hitting one bank for a strided warp access.
+  unsigned conflictDegree(Addr Offset, unsigned Lanes,
+                          uint32_t StrideBytes) const;
+
+  uint64_t sizeBytes() const { return SizeBytes; }
+  Cycle latency() const { return AccessLatency; }
+  unsigned numBanks() const { return NumBanks; }
+
+  uint64_t readCount() const { return Reads; }
+  uint64_t writeCount() const { return Writes; }
+  uint64_t bankConflictCount() const { return BankConflicts; }
+
+private:
+  uint64_t SizeBytes;
+  Cycle AccessLatency;
+  unsigned NumBanks;
+  uint64_t Reads = 0;
+  uint64_t Writes = 0;
+  uint64_t BankConflicts = 0;
+};
+
+} // namespace hetsim
+
+#endif // HETSIM_CACHE_SCRATCHPAD_H

@@ -1,0 +1,69 @@
+//===- comm/CommFabric.h - CPU<->GPU data-transfer fabrics ------*- C++ -*-===//
+///
+/// \file
+/// Hardware communication mechanisms between the PUs. The paper's case
+/// studies differ mainly here (Section V-A): PCI-E links (CPU+GPU, GMAC),
+/// the PCI aperture (LRB), and memory-controller transfers (Fusion).
+/// GMAC additionally overlaps copies with compute via a DMA engine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HETSIM_COMM_COMMFABRIC_H
+#define HETSIM_COMM_COMMFABRIC_H
+
+#include "comm/CommParams.h"
+#include "trace/Kernel.h"
+
+namespace hetsim {
+
+/// Timing of one bulk transfer.
+struct TransferTiming {
+  /// Cycles the CPU is blocked issuing/performing the transfer.
+  Cycle CpuBusyCycles = 0;
+  /// Absolute CPU cycle at which the data is fully moved. For synchronous
+  /// fabrics this equals start + CpuBusyCycles; asynchronous fabrics
+  /// complete later while the CPU continues.
+  Cycle CompleteCycle = 0;
+  /// True if the transfer proceeds in the background.
+  bool Asynchronous = false;
+};
+
+/// Abstract transfer fabric.
+class CommFabric {
+public:
+  virtual ~CommFabric();
+
+  virtual const char *name() const = 0;
+
+  /// Transfers \p Bytes starting at CPU cycle \p NowCpu.
+  virtual TransferTiming transfer(uint64_t Bytes, TransferDir Dir,
+                                  Cycle NowCpu) = 0;
+
+  /// Blocks until every transfer issued so far has completed; returns the
+  /// stall in CPU cycles when waiting at \p NowCpu. Synchronous fabrics
+  /// never stall here.
+  virtual Cycle waitAll(Cycle NowCpu);
+
+  /// Absolute CPU cycle at which all issued transfers are done (0 when
+  /// idle). Non-blocking query used for overlap accounting.
+  virtual Cycle busyUntil() const;
+
+  /// Total bytes moved.
+  uint64_t bytesMoved() const { return BytesMoved; }
+  /// Number of transfers issued.
+  uint64_t transferCount() const { return Transfers; }
+
+protected:
+  void note(uint64_t Bytes) {
+    BytesMoved += Bytes;
+    ++Transfers;
+  }
+
+private:
+  uint64_t BytesMoved = 0;
+  uint64_t Transfers = 0;
+};
+
+} // namespace hetsim
+
+#endif // HETSIM_COMM_COMMFABRIC_H

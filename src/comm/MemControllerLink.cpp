@@ -1,0 +1,31 @@
+//===- comm/MemControllerLink.cpp -----------------------------------------===//
+
+#include "comm/MemControllerLink.h"
+
+#include "dram/Dram.h"
+
+using namespace hetsim;
+
+TransferTiming MemControllerLink::transfer(uint64_t Bytes, TransferDir,
+                                           Cycle NowCpu) {
+  note(Bytes);
+  TransferTiming T;
+  uint64_t Lines = Bytes == 0 ? 0 : ceilDiv(Bytes, CacheLineBytes);
+
+  // A read of the source line and a write of the destination line per
+  // 64B, streamed through the controllers under FR-FCFS. Source and
+  // destination streams are sequential, so row hits dominate — exactly why
+  // Fusion's communication is cheap.
+  for (uint64_t I = 0; I != Lines; ++I) {
+    Addr Line = NextSrc + I * CacheLineBytes;
+    Dram.enqueue(Line, /*IsWrite=*/false);
+    Dram.enqueue(Line + (1ull << 33), /*IsWrite=*/true);
+  }
+  NextSrc += Lines * CacheLineBytes;
+
+  Cycle Start = NowCpu + ApiOverhead;
+  Cycle Done = Lines == 0 ? Start : Dram.drainFrFcfs(Start);
+  T.CpuBusyCycles = Done - NowCpu;
+  T.CompleteCycle = Done;
+  return T;
+}

@@ -1,0 +1,41 @@
+//===- comm/MemControllerLink.h - Fusion-style transfers --------*- C++ -*-===//
+///
+/// \file
+/// Fusion's communication path (Section V-A): CPU<->GPU transfers go
+/// through the memory controllers, "generating memory accesses for all
+/// data transfer" — a read and a write per cache line, scheduled FR-FCFS
+/// on the shared DRAM. Much cheaper than PCI-E.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HETSIM_COMM_MEMCONTROLLERLINK_H
+#define HETSIM_COMM_MEMCONTROLLERLINK_H
+
+#include "comm/CommFabric.h"
+
+namespace hetsim {
+
+class DramSystem;
+
+/// Memory-controller transfer fabric backed by the DRAM model.
+class MemControllerLink final : public CommFabric {
+public:
+  /// \p Dram is the shared memory device (non-owning). \p ApiOverhead is
+  /// the fixed software cost of initiating the copy.
+  MemControllerLink(DramSystem &Dram, Cycle ApiOverhead = 1000)
+      : Dram(Dram), ApiOverhead(ApiOverhead) {}
+
+  const char *name() const override { return "mem-controller"; }
+
+  TransferTiming transfer(uint64_t Bytes, TransferDir Dir,
+                          Cycle NowCpu) override;
+
+private:
+  DramSystem &Dram;
+  Cycle ApiOverhead;
+  Addr NextSrc = 0x200000000ull; // Staging addresses for the line stream.
+};
+
+} // namespace hetsim
+
+#endif // HETSIM_COMM_MEMCONTROLLERLINK_H

@@ -1,0 +1,20 @@
+//===- comm/PciExpressLink.cpp --------------------------------------------===//
+
+#include "comm/PciExpressLink.h"
+
+using namespace hetsim;
+
+CommFabric::~CommFabric() = default;
+
+Cycle CommFabric::waitAll(Cycle) { return 0; }
+
+Cycle CommFabric::busyUntil() const { return 0; }
+
+TransferTiming PciExpressLink::transfer(uint64_t Bytes, TransferDir,
+                                        Cycle NowCpu) {
+  note(Bytes);
+  TransferTiming T;
+  T.CpuBusyCycles = Params.pciCopyCycles(Bytes);
+  T.CompleteCycle = NowCpu + T.CpuBusyCycles;
+  return T;
+}

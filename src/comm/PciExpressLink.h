@@ -1,0 +1,35 @@
+//===- comm/PciExpressLink.h - Synchronous PCI-E copies ---------*- C++ -*-===//
+///
+/// \file
+/// The api-pci mechanism of Table IV: a synchronous memcpy over PCI-E 2.0
+/// (fixed API cost + bytes at 16GB/s). Used by the CPU+GPU(CUDA) case
+/// study, and as the raw link underneath GMAC's DMA engine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HETSIM_COMM_PCIEXPRESSLINK_H
+#define HETSIM_COMM_PCIEXPRESSLINK_H
+
+#include "comm/CommFabric.h"
+
+namespace hetsim {
+
+/// Synchronous PCI-E transfer fabric.
+class PciExpressLink final : public CommFabric {
+public:
+  explicit PciExpressLink(const CommParams &Params) : Params(Params) {}
+
+  const char *name() const override { return "pci-e"; }
+
+  TransferTiming transfer(uint64_t Bytes, TransferDir Dir,
+                          Cycle NowCpu) override;
+
+  const CommParams &params() const { return Params; }
+
+private:
+  CommParams Params;
+};
+
+} // namespace hetsim
+
+#endif // HETSIM_COMM_PCIEXPRESSLINK_H

@@ -1,0 +1,94 @@
+//===- common/AsciiChart.cpp ----------------------------------------------===//
+
+#include "common/AsciiChart.h"
+
+#include "common/StringUtil.h"
+
+#include <algorithm>
+
+using namespace hetsim;
+
+namespace {
+size_t maxLabelWidth(const std::vector<std::string> &Labels) {
+  size_t Width = 0;
+  for (const std::string &Label : Labels)
+    Width = std::max(Width, Label.size());
+  return Width;
+}
+} // namespace
+
+std::string hetsim::renderBarChart(const std::vector<ChartBar> &Bars,
+                                   unsigned Width, const std::string &Unit) {
+  double Max = 0;
+  std::vector<std::string> Labels;
+  for (const ChartBar &Bar : Bars) {
+    Max = std::max(Max, Bar.Value);
+    Labels.push_back(Bar.Label);
+  }
+  size_t LabelWidth = maxLabelWidth(Labels);
+
+  std::string Out;
+  for (const ChartBar &Bar : Bars) {
+    Out += Bar.Label;
+    Out.append(LabelWidth - Bar.Label.size(), ' ');
+    Out += " |";
+    unsigned Cells =
+        Max == 0 ? 0 : unsigned(Bar.Value / Max * double(Width) + 0.5);
+    Out.append(Cells, '#');
+    Out += ' ';
+    Out += formatDouble(Bar.Value, 1);
+    Out += Unit;
+    Out += '\n';
+  }
+  return Out;
+}
+
+std::string hetsim::renderStackedBarChart(
+    const std::vector<StackedBar> &Bars,
+    const std::vector<std::string> &ComponentNames, const std::string &Glyphs,
+    unsigned Width, const std::string &Unit) {
+  double Max = 0;
+  std::vector<std::string> Labels;
+  for (const StackedBar &Bar : Bars) {
+    double Total = 0;
+    for (double Component : Bar.Components)
+      Total += Component;
+    Max = std::max(Max, Total);
+    Labels.push_back(Bar.Label);
+  }
+  size_t LabelWidth = maxLabelWidth(Labels);
+
+  std::string Out;
+  for (const StackedBar &Bar : Bars) {
+    Out += Bar.Label;
+    Out.append(LabelWidth - Bar.Label.size(), ' ');
+    Out += " |";
+    double Total = 0;
+    unsigned Drawn = 0;
+    double Running = 0;
+    for (double Component : Bar.Components)
+      Total += Component;
+    for (size_t I = 0; I != Bar.Components.size(); ++I) {
+      Running += Bar.Components[I];
+      unsigned UpTo =
+          Max == 0 ? 0 : unsigned(Running / Max * double(Width) + 0.5);
+      char Glyph = Glyphs.empty() ? '#' : Glyphs[I % Glyphs.size()];
+      for (; Drawn < UpTo; ++Drawn)
+        Out += Glyph;
+    }
+    Out += ' ';
+    Out += formatDouble(Total, 1);
+    Out += Unit;
+    Out += '\n';
+  }
+
+  Out += "legend:";
+  for (size_t I = 0; I != ComponentNames.size(); ++I) {
+    Out += ' ';
+    Out += Glyphs.empty() ? '#' : Glyphs[I % Glyphs.size()];
+    Out += '=';
+    Out += ComponentNames[I];
+  }
+  Out += '\n';
+  return Out;
+}

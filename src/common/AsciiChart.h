@@ -1,0 +1,48 @@
+//===- common/AsciiChart.h - Text bar charts --------------------*- C++ -*-===//
+///
+/// \file
+/// Horizontal ASCII bar charts for the figure-regeneration benches, so
+/// "Figure 5" prints as an actual figure: simple bars for single series
+/// and stacked bars (one glyph per component) for breakdowns.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HETSIM_COMMON_ASCIICHART_H
+#define HETSIM_COMMON_ASCIICHART_H
+
+#include <string>
+#include <vector>
+
+namespace hetsim {
+
+/// One bar of a simple chart.
+struct ChartBar {
+  std::string Label;
+  double Value = 0;
+};
+
+/// Renders labeled horizontal bars scaled to \p Width columns; values are
+/// printed after each bar with \p Unit appended.
+std::string renderBarChart(const std::vector<ChartBar> &Bars,
+                           unsigned Width = 50,
+                           const std::string &Unit = "");
+
+/// One bar of a stacked chart: the components are drawn in order, each
+/// with its own glyph.
+struct StackedBar {
+  std::string Label;
+  std::vector<double> Components;
+};
+
+/// Renders stacked bars. \p Glyphs supplies one fill character per
+/// component (cycled if short); a legend line maps glyphs to
+/// \p ComponentNames.
+std::string
+renderStackedBarChart(const std::vector<StackedBar> &Bars,
+                      const std::vector<std::string> &ComponentNames,
+                      const std::string &Glyphs = "#=.", unsigned Width = 50,
+                      const std::string &Unit = "");
+
+} // namespace hetsim
+
+#endif // HETSIM_COMMON_ASCIICHART_H

@@ -1,0 +1,134 @@
+//===- common/Config.cpp --------------------------------------------------===//
+
+#include "common/Config.h"
+
+#include "common/Error.h"
+#include "common/StringUtil.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace hetsim;
+
+void ConfigStore::set(const std::string &Key, const std::string &Value) {
+  assert(!Key.empty() && "config keys must be non-empty");
+  Entries[Key] = Value;
+}
+
+void ConfigStore::setInt(const std::string &Key, int64_t Value) {
+  set(Key, std::to_string(Value));
+}
+
+void ConfigStore::setDouble(const std::string &Key, double Value) {
+  set(Key, formatDouble(Value, 9));
+}
+
+void ConfigStore::setBool(const std::string &Key, bool Value) {
+  set(Key, Value ? "true" : "false");
+}
+
+bool ConfigStore::has(const std::string &Key) const {
+  return Entries.count(Key) != 0;
+}
+
+std::string ConfigStore::getString(const std::string &Key,
+                                   const std::string &Default) const {
+  auto It = Entries.find(Key);
+  return It == Entries.end() ? Default : It->second;
+}
+
+int64_t ConfigStore::getInt(const std::string &Key, int64_t Default) const {
+  auto It = Entries.find(Key);
+  if (It == Entries.end())
+    return Default;
+  return std::strtoll(It->second.c_str(), nullptr, 0);
+}
+
+uint64_t ConfigStore::getUInt(const std::string &Key,
+                              uint64_t Default) const {
+  auto It = Entries.find(Key);
+  if (It == Entries.end())
+    return Default;
+  return std::strtoull(It->second.c_str(), nullptr, 0);
+}
+
+double ConfigStore::getDouble(const std::string &Key, double Default) const {
+  auto It = Entries.find(Key);
+  if (It == Entries.end())
+    return Default;
+  return std::strtod(It->second.c_str(), nullptr);
+}
+
+bool ConfigStore::getBool(const std::string &Key, bool Default) const {
+  auto It = Entries.find(Key);
+  if (It == Entries.end())
+    return Default;
+  const std::string &V = It->second;
+  return V == "1" || V == "true" || V == "yes" || V == "on";
+}
+
+std::string ConfigStore::requireString(const std::string &Key) const {
+  auto It = Entries.find(Key);
+  if (It == Entries.end())
+    fatalError(("missing required config key: " + Key).c_str());
+  return It->second;
+}
+
+int64_t ConfigStore::requireInt(const std::string &Key) const {
+  return std::strtoll(requireString(Key).c_str(), nullptr, 0);
+}
+
+bool ConfigStore::parseAssignment(const std::string &Text) {
+  std::string Trimmed = trim(Text);
+  size_t Eq = Trimmed.find('=');
+  if (Eq == std::string::npos || Eq == 0)
+    return false;
+  std::string Key = trim(Trimmed.substr(0, Eq));
+  std::string Value = trim(Trimmed.substr(Eq + 1));
+  if (Key.empty())
+    return false;
+  set(Key, Value);
+  return true;
+}
+
+unsigned ConfigStore::parseLines(const std::string &Text) {
+  unsigned Applied = 0;
+  for (const std::string &Line : splitString(Text, '\n')) {
+    std::string Stripped = trim(Line.substr(0, Line.find('#')));
+    if (Stripped.empty())
+      continue;
+    if (parseAssignment(Stripped))
+      ++Applied;
+  }
+  return Applied;
+}
+
+bool ConfigStore::loadFile(const std::string &Path) {
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  if (!File)
+    return false;
+  std::string Text;
+  char Buffer[4096];
+  size_t Read;
+  while ((Read = std::fread(Buffer, 1, sizeof(Buffer), File)) > 0)
+    Text.append(Buffer, Read);
+  std::fclose(File);
+  parseLines(Text);
+  return true;
+}
+
+void ConfigStore::mergeFrom(const ConfigStore &Other) {
+  for (const auto &KV : Other.Entries)
+    Entries[KV.first] = KV.second;
+}
+
+std::vector<std::string> ConfigStore::keys() const {
+  std::vector<std::string> Result;
+  Result.reserve(Entries.size());
+  for (const auto &KV : Entries)
+    Result.push_back(KV.first);
+  return Result;
+}
+
+void ConfigStore::clear() { Entries.clear(); }

@@ -1,0 +1,79 @@
+//===- common/Config.h - Key/value configuration store ----------*- C++ -*-===//
+///
+/// \file
+/// A typed key=value configuration store. Experiment harnesses and system
+/// configurations read tunables (latencies, sizes, widths) through this so
+/// sweeps can override any parameter by name.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HETSIM_COMMON_CONFIG_H
+#define HETSIM_COMMON_CONFIG_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hetsim {
+
+/// An ordered key=value store with typed accessors.
+///
+/// Keys are dotted lowercase strings such as "cpu.rob_entries" or
+/// "comm.api_pci_base". Lookups with a default never fail; lookups without a
+/// default abort if the key is missing, which catches typos in experiment
+/// scripts early.
+class ConfigStore {
+public:
+  /// Sets \p Key to the string representation of a value.
+  void set(const std::string &Key, const std::string &Value);
+  void setInt(const std::string &Key, int64_t Value);
+  void setDouble(const std::string &Key, double Value);
+  void setBool(const std::string &Key, bool Value);
+
+  /// Returns true if \p Key is present.
+  bool has(const std::string &Key) const;
+
+  /// Typed getters with a default for missing keys.
+  std::string getString(const std::string &Key,
+                        const std::string &Default) const;
+  int64_t getInt(const std::string &Key, int64_t Default) const;
+  uint64_t getUInt(const std::string &Key, uint64_t Default) const;
+  double getDouble(const std::string &Key, double Default) const;
+  bool getBool(const std::string &Key, bool Default) const;
+
+  /// Typed getters that abort with a diagnostic when \p Key is missing.
+  std::string requireString(const std::string &Key) const;
+  int64_t requireInt(const std::string &Key) const;
+
+  /// Parses a single "key=value" assignment; returns false on malformed
+  /// input (no '=' or empty key).
+  bool parseAssignment(const std::string &Text);
+
+  /// Parses newline-separated assignments; '#' starts a comment. Returns the
+  /// number of assignments applied.
+  unsigned parseLines(const std::string &Text);
+
+  /// Loads assignments from a file (same syntax as parseLines). Returns
+  /// false if the file cannot be read.
+  bool loadFile(const std::string &Path);
+
+  /// Merges \p Other into this store; keys in \p Other win.
+  void mergeFrom(const ConfigStore &Other);
+
+  /// Returns all keys in sorted order (useful for dumping configurations).
+  std::vector<std::string> keys() const;
+
+  /// Removes every entry.
+  void clear();
+
+  /// Number of entries.
+  size_t size() const { return Entries.size(); }
+
+private:
+  std::map<std::string, std::string> Entries;
+};
+
+} // namespace hetsim
+
+#endif // HETSIM_COMMON_CONFIG_H

@@ -1,0 +1,20 @@
+//===- common/Error.cpp ---------------------------------------------------===//
+
+#include "common/Error.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace hetsim;
+
+void hetsim::fatalError(const char *Message) {
+  std::fprintf(stderr, "hetsim fatal error: %s\n", Message);
+  std::abort();
+}
+
+void hetsim::unreachableInternal(const char *Message, const char *File,
+                                 unsigned Line) {
+  std::fprintf(stderr, "hetsim unreachable executed at %s:%u: %s\n", File,
+               Line, Message ? Message : "");
+  std::abort();
+}

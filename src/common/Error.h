@@ -1,0 +1,30 @@
+//===- common/Error.h - Fatal errors and unreachable markers ----*- C++ -*-===//
+///
+/// \file
+/// Programmatic-error helpers. HetSim does not use exceptions; invariant
+/// violations abort with a message (LLVM-style), and unreachable code paths
+/// are marked with hetsim_unreachable().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HETSIM_COMMON_ERROR_H
+#define HETSIM_COMMON_ERROR_H
+
+namespace hetsim {
+
+/// Prints "fatal error: <Message>" to stderr and aborts. Use for invariant
+/// violations that must be diagnosed even in release builds.
+[[noreturn]] void fatalError(const char *Message);
+
+/// Implementation hook for hetsim_unreachable().
+[[noreturn]] void unreachableInternal(const char *Message, const char *File,
+                                      unsigned Line);
+
+} // namespace hetsim
+
+/// Marks a point in code that should never be reached (e.g. after a fully
+/// covered switch). Prints location information and aborts.
+#define hetsim_unreachable(MSG)                                               \
+  ::hetsim::unreachableInternal(MSG, __FILE__, __LINE__)
+
+#endif // HETSIM_COMMON_ERROR_H

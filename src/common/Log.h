@@ -1,0 +1,46 @@
+//===- common/Log.h - Leveled diagnostic logging ----------------*- C++ -*-===//
+///
+/// \file
+/// A tiny printf-style leveled logger. Library code logs through this rather
+/// than writing to stdio directly so tests and tools can silence it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HETSIM_COMMON_LOG_H
+#define HETSIM_COMMON_LOG_H
+
+namespace hetsim {
+
+/// Log severities, in increasing verbosity order.
+enum class LogLevel : int {
+  Quiet = 0,
+  Warning = 1,
+  Info = 2,
+  Debug = 3,
+};
+
+/// Global logger configuration and sink.
+class Logger {
+public:
+  /// Sets the maximum level that will be emitted.
+  static void setLevel(LogLevel Level);
+
+  /// Returns the current maximum level.
+  static LogLevel level();
+
+  /// Emits a printf-formatted message at \p Level if enabled.
+  static void log(LogLevel Level, const char *Format, ...)
+      __attribute__((format(printf, 2, 3)));
+};
+
+/// Convenience wrappers.
+#define HETSIM_WARN(...)                                                      \
+  ::hetsim::Logger::log(::hetsim::LogLevel::Warning, __VA_ARGS__)
+#define HETSIM_INFO(...)                                                      \
+  ::hetsim::Logger::log(::hetsim::LogLevel::Info, __VA_ARGS__)
+#define HETSIM_DEBUG(...)                                                     \
+  ::hetsim::Logger::log(::hetsim::LogLevel::Debug, __VA_ARGS__)
+
+} // namespace hetsim
+
+#endif // HETSIM_COMMON_LOG_H

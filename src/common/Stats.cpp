@@ -1,0 +1,86 @@
+//===- common/Stats.cpp ---------------------------------------------------===//
+
+#include "common/Stats.h"
+
+#include "common/StringUtil.h"
+
+using namespace hetsim;
+
+void StatDistribution::addSample(double Value) {
+  if (Count == 0) {
+    Min = Value;
+    Max = Value;
+  } else {
+    if (Value < Min)
+      Min = Value;
+    if (Value > Max)
+      Max = Value;
+  }
+  ++Count;
+  Sum += Value;
+}
+
+void StatDistribution::reset() {
+  Count = 0;
+  Sum = 0.0;
+  Min = 0.0;
+  Max = 0.0;
+}
+
+void StatRegistry::increment(const std::string &Name, uint64_t Delta) {
+  Counters[Name] += Delta;
+}
+
+void StatRegistry::setCounter(const std::string &Name, uint64_t Value) {
+  Counters[Name] = Value;
+}
+
+uint64_t StatRegistry::counter(const std::string &Name) const {
+  auto It = Counters.find(Name);
+  return It == Counters.end() ? 0 : It->second;
+}
+
+void StatRegistry::addSample(const std::string &Name, double Value) {
+  Distributions[Name].addSample(Value);
+}
+
+const StatDistribution &
+StatRegistry::distribution(const std::string &Name) const {
+  auto It = Distributions.find(Name);
+  return It == Distributions.end() ? EmptyDistribution : It->second;
+}
+
+std::vector<std::string> StatRegistry::counterNames() const {
+  std::vector<std::string> Names;
+  Names.reserve(Counters.size());
+  for (const auto &KV : Counters)
+    Names.push_back(KV.first);
+  return Names;
+}
+
+std::vector<std::pair<std::string, uint64_t>>
+StatRegistry::countersWithPrefix(const std::string &Prefix) const {
+  std::vector<std::pair<std::string, uint64_t>> Result;
+  for (auto It = Counters.lower_bound(Prefix); It != Counters.end(); ++It) {
+    if (!startsWith(It->first, Prefix))
+      break;
+    Result.push_back(*It);
+  }
+  return Result;
+}
+
+void StatRegistry::reset() {
+  Counters.clear();
+  Distributions.clear();
+}
+
+std::string StatRegistry::renderCounters() const {
+  std::string Out;
+  for (const auto &KV : Counters) {
+    Out += KV.first;
+    Out += " = ";
+    Out += std::to_string(KV.second);
+    Out += '\n';
+  }
+  return Out;
+}

@@ -1,0 +1,81 @@
+//===- common/Stats.h - Named statistics registry ---------------*- C++ -*-===//
+///
+/// \file
+/// Named counters and distributions. Every hardware model exposes its
+/// activity (hits, misses, stalls, transfers) through a StatRegistry so
+/// experiments can report and tests can assert on exact behaviour.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HETSIM_COMMON_STATS_H
+#define HETSIM_COMMON_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hetsim {
+
+/// A streaming distribution: count, sum, min, max, mean.
+class StatDistribution {
+public:
+  void addSample(double Value);
+  void reset();
+
+  uint64_t count() const { return Count; }
+  double sum() const { return Sum; }
+  double min() const { return Count == 0 ? 0.0 : Min; }
+  double max() const { return Count == 0 ? 0.0 : Max; }
+  double mean() const { return Count == 0 ? 0.0 : Sum / double(Count); }
+
+private:
+  uint64_t Count = 0;
+  double Sum = 0.0;
+  double Min = 0.0;
+  double Max = 0.0;
+};
+
+/// A registry of named counters and distributions.
+///
+/// Counter names are dotted lowercase strings ("l1d.miss", "dram.reads").
+/// Reading a counter that was never incremented returns zero.
+class StatRegistry {
+public:
+  /// Adds \p Delta to counter \p Name.
+  void increment(const std::string &Name, uint64_t Delta = 1);
+
+  /// Sets counter \p Name to an absolute value.
+  void setCounter(const std::string &Name, uint64_t Value);
+
+  /// Returns the value of counter \p Name (0 if absent).
+  uint64_t counter(const std::string &Name) const;
+
+  /// Adds a sample to distribution \p Name.
+  void addSample(const std::string &Name, double Value);
+
+  /// Returns the distribution \p Name (an empty one if absent).
+  const StatDistribution &distribution(const std::string &Name) const;
+
+  /// Returns all counter names in sorted order.
+  std::vector<std::string> counterNames() const;
+
+  /// Returns all counters whose name starts with \p Prefix.
+  std::vector<std::pair<std::string, uint64_t>>
+  countersWithPrefix(const std::string &Prefix) const;
+
+  /// Resets all counters and distributions.
+  void reset();
+
+  /// Renders "name = value" lines, one per counter, sorted by name.
+  std::string renderCounters() const;
+
+private:
+  std::map<std::string, uint64_t> Counters;
+  std::map<std::string, StatDistribution> Distributions;
+  StatDistribution EmptyDistribution;
+};
+
+} // namespace hetsim
+
+#endif // HETSIM_COMMON_STATS_H

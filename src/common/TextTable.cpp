@@ -1,0 +1,79 @@
+//===- common/TextTable.cpp -----------------------------------------------===//
+
+#include "common/TextTable.h"
+
+#include "common/StringUtil.h"
+
+#include <algorithm>
+
+using namespace hetsim;
+
+TextTable::TextTable(std::vector<std::string> Headers)
+    : Headers(std::move(Headers)) {}
+
+void TextTable::addRow(std::vector<std::string> Cells) {
+  Cells.resize(Headers.size());
+  Rows.push_back(std::move(Cells));
+}
+
+void TextTable::addNumericRow(const std::string &Label,
+                              const std::vector<double> &Values,
+                              int Precision) {
+  std::vector<std::string> Cells;
+  Cells.reserve(Values.size() + 1);
+  Cells.push_back(Label);
+  for (double V : Values)
+    Cells.push_back(formatDouble(V, Precision));
+  addRow(std::move(Cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<size_t> Widths(Headers.size(), 0);
+  for (size_t I = 0; I != Headers.size(); ++I)
+    Widths[I] = Headers[I].size();
+  for (const auto &Row : Rows)
+    for (size_t I = 0; I != Row.size(); ++I)
+      Widths[I] = std::max(Widths[I], Row[I].size());
+
+  auto RenderRow = [&](const std::vector<std::string> &Cells) {
+    std::string Line;
+    for (size_t I = 0; I != Cells.size(); ++I) {
+      if (I != 0)
+        Line += "  ";
+      Line += Cells[I];
+      Line.append(Widths[I] - Cells[I].size(), ' ');
+    }
+    // Trim trailing padding.
+    size_t End = Line.find_last_not_of(' ');
+    Line.resize(End == std::string::npos ? 0 : End + 1);
+    Line += '\n';
+    return Line;
+  };
+
+  std::string Out = RenderRow(Headers);
+  size_t Total = 0;
+  for (size_t W : Widths)
+    Total += W + 2;
+  Out.append(Total > 2 ? Total - 2 : 0, '-');
+  Out += '\n';
+  for (const auto &Row : Rows)
+    Out += RenderRow(Row);
+  return Out;
+}
+
+std::string TextTable::renderCsv() const {
+  auto RenderRow = [](const std::vector<std::string> &Cells) {
+    std::string Line;
+    for (size_t I = 0; I != Cells.size(); ++I) {
+      if (I != 0)
+        Line += ',';
+      Line += Cells[I];
+    }
+    Line += '\n';
+    return Line;
+  };
+  std::string Out = RenderRow(Headers);
+  for (const auto &Row : Rows)
+    Out += RenderRow(Row);
+  return Out;
+}

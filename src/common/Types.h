@@ -1,0 +1,92 @@
+//===- common/Types.h - Fundamental simulator types -------------*- C++ -*-===//
+///
+/// \file
+/// Fundamental scalar types and enumerations shared by every HetSim module.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HETSIM_COMMON_TYPES_H
+#define HETSIM_COMMON_TYPES_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hetsim {
+
+/// A virtual or physical byte address.
+using Addr = uint64_t;
+
+/// A cycle count in some clock domain (see common/Units.h for domains).
+using Cycle = uint64_t;
+
+/// A signed cycle delta, for latency arithmetic that may briefly go negative.
+using CycleDelta = int64_t;
+
+/// Identifier of a processing unit. The paper uses "PU" for either a CPU or
+/// a GPU (Section II); all discussions generalize to other accelerators.
+enum class PuKind : uint8_t {
+  Cpu = 0,
+  Gpu = 1,
+};
+
+/// Number of distinct PU kinds modeled.
+inline constexpr unsigned NumPuKinds = 2;
+
+/// Returns a short human-readable name ("CPU" / "GPU").
+inline const char *puKindName(PuKind Kind) {
+  return Kind == PuKind::Cpu ? "CPU" : "GPU";
+}
+
+/// Returns the other PU: the CPU for the GPU and vice versa.
+inline PuKind otherPu(PuKind Kind) {
+  return Kind == PuKind::Cpu ? PuKind::Gpu : PuKind::Cpu;
+}
+
+/// Index usable for per-PU arrays.
+inline unsigned puIndex(PuKind Kind) { return static_cast<unsigned>(Kind); }
+
+/// Cache-line size in bytes; the whole hierarchy uses 64B lines (Table II
+/// models a Sandy-Bridge-like CPU and Fermi-like GPU, both 64B/128B-line
+/// machines; we pick 64B uniformly).
+inline constexpr unsigned CacheLineBytes = 64;
+
+/// Default small page size (CPU).
+inline constexpr unsigned SmallPageBytes = 4096;
+
+/// Default large page size (GPU; Section II-A1 notes GPUs can use large
+/// pages to accommodate high stream locality).
+inline constexpr unsigned LargePageBytes = 64 * 1024;
+
+/// Rounds \p Value up to the next multiple of \p Align (a power of two).
+inline constexpr uint64_t alignUp(uint64_t Value, uint64_t Align) {
+  return (Value + Align - 1) & ~(Align - 1);
+}
+
+/// Rounds \p Value down to a multiple of \p Align (a power of two).
+inline constexpr uint64_t alignDown(uint64_t Value, uint64_t Align) {
+  return Value & ~(Align - 1);
+}
+
+/// Returns true if \p Value is a power of two (and non-zero).
+inline constexpr bool isPowerOf2(uint64_t Value) {
+  return Value != 0 && (Value & (Value - 1)) == 0;
+}
+
+/// Integer log2 for powers of two.
+inline constexpr unsigned log2Exact(uint64_t Value) {
+  unsigned Result = 0;
+  while (Value > 1) {
+    Value >>= 1;
+    ++Result;
+  }
+  return Result;
+}
+
+/// Ceiling division for unsigned integers.
+inline constexpr uint64_t ceilDiv(uint64_t Num, uint64_t Den) {
+  return (Num + Den - 1) / Den;
+}
+
+} // namespace hetsim
+
+#endif // HETSIM_COMMON_TYPES_H

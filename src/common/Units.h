@@ -1,0 +1,66 @@
+//===- common/Units.h - Clock domains and time conversion -------*- C++ -*-===//
+///
+/// \file
+/// Clock-domain definitions for the baseline system (Table II): a 3.5GHz
+/// CPU, a 1.5GHz GPU, and an uncore (L3, ring, DRAM controller front end)
+/// clocked with the CPU. Cross-domain latency arithmetic converts through
+/// nanoseconds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HETSIM_COMMON_UNITS_H
+#define HETSIM_COMMON_UNITS_H
+
+#include "common/Types.h"
+
+namespace hetsim {
+
+/// CPU core frequency in Hz (Table II: 3.5GHz out-of-order).
+inline constexpr double CpuFreqHz = 3.5e9;
+
+/// GPU core frequency in Hz (Table II: 1.5GHz in-order 8-wide SIMD).
+inline constexpr double GpuFreqHz = 1.5e9;
+
+/// PCI-E 2.0 transfer rate used by the api-pci model (Table IV: 16GB/s).
+inline constexpr double PciE2BytesPerSec = 16.0e9;
+
+/// DDR3-1333 aggregate bandwidth (Table II: 41.6GB/s over 4 controllers).
+inline constexpr double DramBytesPerSec = 41.6e9;
+
+/// Returns the frequency of \p Pu in Hz.
+inline constexpr double puFreqHz(PuKind Pu) {
+  return Pu == PuKind::Cpu ? CpuFreqHz : GpuFreqHz;
+}
+
+/// Converts \p Cycles in the clock of \p Pu to nanoseconds.
+inline constexpr double cyclesToNs(PuKind Pu, Cycle Cycles) {
+  return double(Cycles) * 1e9 / puFreqHz(Pu);
+}
+
+/// Converts \p Ns nanoseconds to (rounded-up) cycles of \p Pu.
+inline constexpr Cycle nsToCycles(PuKind Pu, double Ns) {
+  double Cycles = Ns * puFreqHz(Pu) / 1e9;
+  Cycle Floor = static_cast<Cycle>(Cycles);
+  return Cycles > double(Floor) ? Floor + 1 : Floor;
+}
+
+/// Converts cycles between PU clock domains, rounding up.
+inline constexpr Cycle convertCycles(PuKind From, PuKind To, Cycle Cycles) {
+  if (From == To)
+    return Cycles;
+  return nsToCycles(To, cyclesToNs(From, Cycles));
+}
+
+/// Cycles a transfer of \p Bytes occupies at \p BytesPerSec, in the clock
+/// domain of \p Pu, rounded up.
+inline constexpr Cycle transferCycles(PuKind Pu, uint64_t Bytes,
+                                      double BytesPerSec) {
+  double Seconds = double(Bytes) / BytesPerSec;
+  double Cycles = Seconds * puFreqHz(Pu);
+  Cycle Floor = static_cast<Cycle>(Cycles);
+  return Cycles > double(Floor) ? Floor + 1 : Floor;
+}
+
+} // namespace hetsim
+
+#endif // HETSIM_COMMON_UNITS_H

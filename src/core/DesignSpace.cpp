@@ -1,0 +1,135 @@
+//===- core/DesignSpace.cpp -----------------------------------------------===//
+
+#include "core/DesignSpace.h"
+
+#include "common/Error.h"
+
+using namespace hetsim;
+
+const char *hetsim::connectionName(ConnectionKind Kind) {
+  switch (Kind) {
+  case ConnectionKind::PciExpress:
+    return "PCI-E";
+  case ConnectionKind::MemoryController:
+    return "Memory controller";
+  case ConnectionKind::Interconnection:
+    return "interconnection";
+  case ConnectionKind::CacheFsb:
+    return "cache/FSB";
+  case ConnectionKind::Bus:
+    return "BUS";
+  case ConnectionKind::None:
+    return "-";
+  }
+  hetsim_unreachable("invalid connection kind");
+}
+
+const char *hetsim::coherenceName(CoherenceKind Kind) {
+  switch (Kind) {
+  case CoherenceKind::None:
+    return "-";
+  case CoherenceKind::HardwareDirectory:
+    return "directory";
+  case CoherenceKind::HardwareOrSoftware:
+    return "HW/SW";
+  case CoherenceKind::RuntimeProtocol:
+    return "runtime protocol";
+  case CoherenceKind::OneSideOnly:
+    return "coherent one side only";
+  case CoherenceKind::Possible:
+    return "can be coherent";
+  }
+  hetsim_unreachable("invalid coherence kind");
+}
+
+const char *hetsim::consistencyName(ConsistencyKind Kind) {
+  switch (Kind) {
+  case ConsistencyKind::Weak:
+    return "weak consistency";
+  case ConsistencyKind::CentralizedRelease:
+    return "centralized release consistency";
+  case ConsistencyKind::Strong:
+    return "strong consistency";
+  case ConsistencyKind::Unspecified:
+    return "-";
+  }
+  hetsim_unreachable("invalid consistency kind");
+}
+
+const char *hetsim::localityMgmtName(LocalityMgmt Mgmt) {
+  return Mgmt == LocalityMgmt::Implicit ? "impl" : "expl";
+}
+
+const char *hetsim::sharedLocalityName(SharedLocality Kind) {
+  switch (Kind) {
+  case SharedLocality::NoSharedLevel:
+    return "none";
+  case SharedLocality::Implicit:
+    return "impl-shared";
+  case SharedLocality::Explicit:
+    return "expl-shared";
+  case SharedLocality::Hybrid:
+    return "hybrid-shared";
+  }
+  hetsim_unreachable("invalid shared-locality kind");
+}
+
+std::string LocalityScheme::render() const {
+  std::string Out;
+  Out += localityMgmtName(CpuPrivate);
+  Out += "-pri/";
+  Out += localityMgmtName(GpuPrivate);
+  Out += "-pri/";
+  Out += sharedLocalityName(Shared);
+  return Out;
+}
+
+const std::vector<LocalityScheme> &hetsim::canonicalLocalitySchemes() {
+  using LM = LocalityMgmt;
+  using SL = SharedLocality;
+  static const std::vector<LocalityScheme> Schemes = {
+      // Uniform baselines.
+      {LM::Implicit, LM::Implicit, SL::Implicit},
+      {LM::Explicit, LM::Explicit, SL::Explicit},
+      // II-B1: implicit-private, explicit-shared.
+      {LM::Implicit, LM::Implicit, SL::Explicit},
+      // II-B2: explicit-private, implicit-shared.
+      {LM::Explicit, LM::Explicit, SL::Implicit},
+      // II-B3: mixed private, explicit shared.
+      {LM::Implicit, LM::Explicit, SL::Explicit},
+      // II-B4: mixed private, implicit shared.
+      {LM::Implicit, LM::Explicit, SL::Implicit},
+      // II-B5: hybrid second level.
+      {LM::Implicit, LM::Explicit, SL::Hybrid},
+  };
+  return Schemes;
+}
+
+unsigned hetsim::localityOptionCount(AddressSpaceKind Kind) {
+  unsigned Count = 0;
+  for (const LocalityScheme &Scheme : canonicalLocalitySchemes()) {
+    switch (Kind) {
+    case AddressSpaceKind::Disjoint:
+      // No shared space: only the uniform private baselines apply.
+      if (Scheme.Shared == SharedLocality::Implicit && !Scheme.mixedPrivate())
+        ++Count;
+      break;
+    case AddressSpaceKind::Unified:
+      // Section II-B1: explicit shared management is undesirable when the
+      // whole space is (potentially) shared; implicit shared options only.
+      if (Scheme.Shared == SharedLocality::Implicit)
+        ++Count;
+      break;
+    case AddressSpaceKind::Adsm:
+      // The accelerator side is private-only; hybrid shared management is
+      // limited to the CPU side, so hybrid does not apply.
+      if (Scheme.Shared != SharedLocality::Hybrid)
+        ++Count;
+      break;
+    case AddressSpaceKind::PartiallyShared:
+      ++Count; // All options apply (the paper's conclusion 3).
+      break;
+    }
+  }
+  return Count;
+}

@@ -1,0 +1,84 @@
+//===- core/Experiments.h - Paper experiment harness ------------*- C++ -*-===//
+///
+/// \file
+/// Runs the paper's experiments and renders their tables/figures as text.
+/// Each bench binary regenerates one table or figure by calling into this
+/// harness; tests assert on the same data.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HETSIM_CORE_EXPERIMENTS_H
+#define HETSIM_CORE_EXPERIMENTS_H
+
+#include "common/TextTable.h"
+#include "core/HeteroSimulator.h"
+
+namespace hetsim {
+
+/// One (system, kernel) measurement.
+struct ExperimentRow {
+  std::string System;
+  KernelId Kernel = KernelId::Reduction;
+  RunResult Result;
+};
+
+/// Runs all six kernels on the five case-study systems (Figures 5 and 6).
+std::vector<ExperimentRow> runCaseStudies(const ConfigStore &Overrides = {});
+
+/// Runs all six kernels on the four address-space options with shared
+/// cache and ideal communication (Figure 7).
+std::vector<ExperimentRow>
+runAddressSpaceStudy(const ConfigStore &Overrides = {});
+
+/// Figure 5: execution time (normalized to IDEAL-HETERO per kernel, when
+/// present) split into sequential / parallel / communication.
+TextTable renderFigure5(const std::vector<ExperimentRow> &Rows);
+
+/// Figure 6: communication overhead only (microseconds and fraction).
+TextTable renderFigure6(const std::vector<ExperimentRow> &Rows);
+
+/// Figure 7: total time per address-space option, normalized to UNI.
+TextTable renderFigure7(const std::vector<ExperimentRow> &Rows);
+
+/// Table I: the qualitative system survey.
+TextTable renderTable1();
+
+/// Table II: the baseline system configuration in use.
+TextTable renderTable2(const SystemConfig &Config);
+
+/// Table III: benchmark characteristics, as *measured* from the lowered
+/// programs (instruction counts, communications, initial transfer size).
+TextTable renderTable3();
+
+/// Table IV: communication-overhead parameters in use.
+TextTable renderTable4(const CommParams &Params);
+
+/// Table V: communication source lines per kernel and address space.
+TextTable renderTable5();
+
+/// One point of a work-partitioning sweep (the Qilin-style extension;
+/// the paper divides work evenly and cites [25] for optimal splits).
+struct PartitionPoint {
+  double CpuFraction = 0.5;
+  double TotalNs = 0;
+  double ParallelNs = 0;
+};
+
+/// Runs \p Kernel on \p Config at Steps+1 evenly spaced CPU fractions
+/// in [0, 1] and returns the measured points.
+std::vector<PartitionPoint> sweepPartition(const SystemConfig &Config,
+                                           KernelId Kernel,
+                                           unsigned Steps = 10);
+
+/// Returns the sweep point with the lowest total time.
+PartitionPoint findBestPartition(const SystemConfig &Config, KernelId Kernel,
+                                 unsigned Steps = 10);
+
+/// Writes \p Table as CSV to $HETSIM_CSV_DIR/<Name>.csv when that
+/// environment variable is set (machine-readable experiment export).
+/// Returns true if a file was written.
+bool maybeExportCsv(const std::string &Name, const TextTable &Table);
+
+} // namespace hetsim
+
+#endif // HETSIM_CORE_EXPERIMENTS_H

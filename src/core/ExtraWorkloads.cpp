@@ -1,0 +1,399 @@
+//===- core/ExtraWorkloads.cpp --------------------------------------------===//
+
+#include "core/ExtraWorkloads.h"
+
+#include "common/Error.h"
+#include "common/Random.h"
+#include "trace/KernelTraceGenerator.h"
+
+using namespace hetsim;
+
+const char *hetsim::extraWorkloadName(ExtraWorkloadId Id) {
+  switch (Id) {
+  case ExtraWorkloadId::StreamTriad:
+    return "stream triad";
+  case ExtraWorkloadId::Histogram:
+    return "histogram";
+  case ExtraWorkloadId::Spmv:
+    return "spmv";
+  case ExtraWorkloadId::Fft:
+    return "fft";
+  case ExtraWorkloadId::Bfs:
+    return "bfs";
+  }
+  hetsim_unreachable("invalid extra workload");
+}
+
+const std::vector<ExtraWorkloadId> &hetsim::allExtraWorkloads() {
+  static const std::vector<ExtraWorkloadId> Ids = {
+      ExtraWorkloadId::StreamTriad, ExtraWorkloadId::Histogram,
+      ExtraWorkloadId::Spmv, ExtraWorkloadId::Fft, ExtraWorkloadId::Bfs};
+  return Ids;
+}
+
+namespace {
+
+/// Object lists per workload. Sizes derive from Elements at build time;
+/// names are static strings (DataObjectSpec holds const char*).
+std::vector<DataObjectSpec> objectsFor(ExtraWorkloadId Id,
+                                       uint64_t Elements) {
+  const uint64_t Bytes = Elements * 4;
+  switch (Id) {
+  case ExtraWorkloadId::StreamTriad:
+    return {{"b", Bytes, TransferDir::HostToDevice},
+            {"c", Bytes, TransferDir::HostToDevice},
+            {"a", Bytes, TransferDir::DeviceToHost}};
+  case ExtraWorkloadId::Histogram:
+    return {{"input", Bytes, TransferDir::HostToDevice},
+            {"bins", 256 * 4, TransferDir::DeviceToHost}};
+  case ExtraWorkloadId::Spmv:
+    // nnz values + column indices + the dense vector in; y out.
+    return {{"vals", Bytes, TransferDir::HostToDevice},
+            {"cols", Bytes, TransferDir::HostToDevice},
+            {"x", Bytes / 4, TransferDir::HostToDevice},
+            {"y", Bytes / 8, TransferDir::DeviceToHost}};
+  case ExtraWorkloadId::Fft:
+    // Complex samples in place (in->out buffers) + twiddle table.
+    return {{"samples", Bytes * 2, TransferDir::HostToDevice},
+            {"twiddles", 4096, TransferDir::HostToDevice},
+            {"spectrum", Bytes * 2, TransferDir::DeviceToHost}};
+  case ExtraWorkloadId::Bfs:
+    // CSR adjacency (offsets+edges), frontier in, distances out.
+    return {{"offsets", Bytes / 4, TransferDir::HostToDevice},
+            {"edges", Bytes, TransferDir::HostToDevice},
+            {"dist", Bytes / 4, TransferDir::DeviceToHost}};
+  }
+  hetsim_unreachable("invalid extra workload");
+}
+
+/// CPU-side compute trace for one workload over its element half.
+TraceBuffer cpuTrace(ExtraWorkloadId Id, const KernelDataLayout &Layout,
+                     uint64_t Elements, uint64_t Seed) {
+  TraceBuffer Trace;
+  XorShiftRng Rng(Seed);
+  const uint32_t Pc = 0xA00000 + uint32_t(Id) * 0x10000;
+  switch (Id) {
+  case ExtraWorkloadId::StreamTriad: {
+    StreamCursor B = KernelTraceGenerator::cursorFor(Layout.segment("b"),
+                                                     WorkSplit::FirstHalf);
+    StreamCursor C = KernelTraceGenerator::cursorFor(Layout.segment("c"),
+                                                     WorkSplit::FirstHalf);
+    StreamCursor A = KernelTraceGenerator::cursorFor(Layout.segment("a"),
+                                                     WorkSplit::FirstHalf);
+    for (uint64_t I = 0; I != Elements; ++I) {
+      uint8_t V = uint8_t(8 + I % 20);
+      Trace.emitLoad(Pc + 0, V, B.advance(4), 4);
+      Trace.emitLoad(Pc + 4, uint8_t(V + 1), C.advance(4), 4);
+      Trace.emitAlu(Opcode::FpMac, Pc + 8, uint8_t(V + 2), V,
+                    uint8_t(V + 1));
+      Trace.emitStore(Pc + 12, uint8_t(V + 2), A.advance(4), 4);
+      Trace.emitBranch(Pc + 16, true, 0);
+    }
+    break;
+  }
+  case ExtraWorkloadId::Histogram: {
+    StreamCursor In = KernelTraceGenerator::cursorFor(
+        Layout.segment("input"), WorkSplit::FirstHalf);
+    const DataSegment &Bins = Layout.segment("bins");
+    for (uint64_t I = 0; I != Elements; ++I) {
+      uint8_t V = uint8_t(8 + I % 20);
+      Trace.emitLoad(Pc + 0, V, In.advance(4), 4);
+      // Data-dependent bin: read-modify-write of a hot 1KB table.
+      Addr Bin = Bins.Base + Rng.nextBelow(256) * 4;
+      Trace.emitLoad(Pc + 4, uint8_t(V + 1), Bin, 4, V);
+      Trace.emitAlu(Opcode::IntAlu, Pc + 8, uint8_t(V + 1), uint8_t(V + 1));
+      Trace.emitStore(Pc + 12, uint8_t(V + 1), Bin, 4);
+      Trace.emitBranch(Pc + 16, true, 0);
+    }
+    break;
+  }
+  case ExtraWorkloadId::Spmv: {
+    StreamCursor Vals = KernelTraceGenerator::cursorFor(
+        Layout.segment("vals"), WorkSplit::FirstHalf);
+    StreamCursor Cols = KernelTraceGenerator::cursorFor(
+        Layout.segment("cols"), WorkSplit::FirstHalf);
+    const DataSegment &X = Layout.segment("x");
+    StreamCursor Y = KernelTraceGenerator::cursorFor(Layout.segment("y"),
+                                                     WorkSplit::FirstHalf);
+    for (uint64_t I = 0; I != Elements; ++I) {
+      uint8_t V = uint8_t(8 + I % 20);
+      Trace.emitLoad(Pc + 0, V, Vals.advance(4), 4);
+      Trace.emitLoad(Pc + 4, uint8_t(V + 1), Cols.advance(4), 4);
+      // Irregular gather of x[col].
+      Addr Gather = X.Base + alignDown(Rng.nextBelow(X.Bytes), 4);
+      Trace.emitLoad(Pc + 8, uint8_t(V + 2), Gather, 4, uint8_t(V + 1));
+      Trace.emitAlu(Opcode::FpMac, Pc + 12, 7, V, uint8_t(V + 2));
+      if (I % 8 == 7) {
+        Trace.emitStore(Pc + 16, 7, Y.advance(4), 4);
+        Trace.emitBranch(Pc + 20, true, 0);
+      }
+    }
+    break;
+  }
+  case ExtraWorkloadId::Fft: {
+    const DataSegment &Samples = Layout.segment("samples");
+    const DataSegment &Twiddles = Layout.segment("twiddles");
+    StreamCursor Out = KernelTraceGenerator::cursorFor(
+        Layout.segment("spectrum"), WorkSplit::FirstHalf);
+    // Butterfly passes: the stride doubles each stage, so late stages
+    // touch a new line on every load (cache-hostile); the twiddle table
+    // stays resident.
+    uint64_t Half = Samples.Bytes / 2;
+    uint64_t Stride = 8;
+    uint64_t Pos = 0;
+    for (uint64_t I = 0; I != Elements; ++I) {
+      uint8_t V = uint8_t(8 + I % 20);
+      Addr Even = Samples.Base + Pos;
+      Addr Odd = Samples.Base + ((Pos + Stride) % Half);
+      Trace.emitLoad(Pc + 0, V, Even, 8);
+      Trace.emitLoad(Pc + 4, uint8_t(V + 1), Odd, 8);
+      Trace.emitLoad(Pc + 8, uint8_t(V + 2),
+                     Twiddles.Base + (I % 512) * 8, 8);
+      Trace.emitAlu(Opcode::FpMul, Pc + 12, uint8_t(V + 3), uint8_t(V + 1),
+                    uint8_t(V + 2));
+      Trace.emitAlu(Opcode::FpAlu, Pc + 16, uint8_t(V + 3), V,
+                    uint8_t(V + 3));
+      Trace.emitStore(Pc + 20, uint8_t(V + 3), Out.advance(8), 8);
+      Trace.emitBranch(Pc + 24, true, 0);
+      Pos += 16;
+      if (Pos >= Half) {
+        Pos = 0;
+        Stride = Stride >= Half / 2 ? 8 : Stride * 2; // Next stage.
+      }
+    }
+    break;
+  }
+  case ExtraWorkloadId::Bfs: {
+    StreamCursor Offsets = KernelTraceGenerator::cursorFor(
+        Layout.segment("offsets"), WorkSplit::FirstHalf);
+    const DataSegment &Edges = Layout.segment("edges");
+    const DataSegment &Dist = Layout.segment("dist");
+    for (uint64_t I = 0; I != Elements; ++I) {
+      uint8_t V = uint8_t(8 + I % 20);
+      Trace.emitLoad(Pc + 0, V, Offsets.advance(4), 4);
+      // Random neighbor gather through the edge list.
+      Addr Edge = Edges.Base + alignDown(Rng.nextBelow(Edges.Bytes), 4);
+      Trace.emitLoad(Pc + 4, uint8_t(V + 1), Edge, 4, V);
+      // Visited check on dist[neighbor]: data-dependent branch.
+      Addr Visited = Dist.Base + alignDown(Rng.nextBelow(Dist.Bytes), 4);
+      Trace.emitLoad(Pc + 8, uint8_t(V + 2), Visited, 4, uint8_t(V + 1));
+      Trace.emitBranch(Pc + 12, Rng.nextBool(0.4), uint8_t(V + 2));
+      if (I % 3 == 0)
+        Trace.emitStore(Pc + 16, uint8_t(V + 2), Visited, 4);
+      Trace.emitAlu(Opcode::IntAlu, Pc + 20, 0, 0);
+      Trace.emitBranch(Pc + 24, true, 0);
+    }
+    break;
+  }
+  }
+  return Trace;
+}
+
+/// GPU-side warp trace (8-wide) over the other half.
+TraceBuffer gpuTrace(ExtraWorkloadId Id, const KernelDataLayout &Layout,
+                     uint64_t Elements, uint64_t Seed) {
+  TraceBuffer Trace;
+  XorShiftRng Rng(Seed * 7 + 3);
+  const uint32_t Pc = 0xB00000 + uint32_t(Id) * 0x10000;
+  const uint64_t Warps = Elements / 8;
+  switch (Id) {
+  case ExtraWorkloadId::StreamTriad: {
+    StreamCursor B = KernelTraceGenerator::cursorFor(Layout.segment("b"),
+                                                     WorkSplit::SecondHalf);
+    StreamCursor C = KernelTraceGenerator::cursorFor(Layout.segment("c"),
+                                                     WorkSplit::SecondHalf);
+    StreamCursor A = KernelTraceGenerator::cursorFor(Layout.segment("a"),
+                                                     WorkSplit::SecondHalf);
+    for (uint64_t I = 0; I != Warps; ++I) {
+      uint8_t V = uint8_t(8 + I % 20);
+      Trace.emitSimdLoad(Pc + 0, V, B.advance(32), 4, 8, 4);
+      Trace.emitSimdLoad(Pc + 4, uint8_t(V + 1), C.advance(32), 4, 8, 4);
+      Trace.emitAlu(Opcode::FpMac, Pc + 8, uint8_t(V + 2), V,
+                    uint8_t(V + 1));
+      Trace.emitSimdStore(Pc + 12, uint8_t(V + 2), A.advance(32), 4, 8, 4);
+      Trace.emitBranch(Pc + 16, true, 0);
+    }
+    break;
+  }
+  case ExtraWorkloadId::Histogram: {
+    StreamCursor In = KernelTraceGenerator::cursorFor(
+        Layout.segment("input"), WorkSplit::SecondHalf);
+    const DataSegment &Bins = Layout.segment("bins");
+    for (uint64_t I = 0; I != Warps; ++I) {
+      uint8_t V = uint8_t(8 + I % 20);
+      Trace.emitSimdLoad(Pc + 0, V, In.advance(32), 4, 8, 4);
+      // Scattered atomic-style bin updates: one lane-scattered access.
+      Addr Bin = Bins.Base + Rng.nextBelow(32) * 4;
+      Trace.emitSimdLoad(Pc + 4, uint8_t(V + 1), Bin, 4, 8, 28);
+      Trace.emitAlu(Opcode::IntAlu, Pc + 8, uint8_t(V + 1), uint8_t(V + 1));
+      Trace.emitSimdStore(Pc + 12, uint8_t(V + 1), Bin, 4, 8, 28);
+      Trace.emitBranch(Pc + 16, true, 0);
+    }
+    break;
+  }
+  case ExtraWorkloadId::Spmv: {
+    StreamCursor Vals = KernelTraceGenerator::cursorFor(
+        Layout.segment("vals"), WorkSplit::SecondHalf);
+    const DataSegment &X = Layout.segment("x");
+    StreamCursor Y = KernelTraceGenerator::cursorFor(Layout.segment("y"),
+                                                     WorkSplit::SecondHalf);
+    for (uint64_t I = 0; I != Warps; ++I) {
+      uint8_t V = uint8_t(8 + I % 20);
+      Trace.emitSimdLoad(Pc + 0, V, Vals.advance(32), 4, 8, 4);
+      // Divergent gathers: wide lane stride defeats coalescing.
+      Addr Gather = X.Base + alignDown(Rng.nextBelow(X.Bytes / 2), 4);
+      Trace.emitSimdLoad(Pc + 4, uint8_t(V + 1), Gather, 4, 8, 512);
+      Trace.emitAlu(Opcode::FpMac, Pc + 8, 7, V, uint8_t(V + 1));
+      if (I % 8 == 7)
+        Trace.emitSimdStore(Pc + 12, 7, Y.advance(32), 4, 8, 4);
+      Trace.emitBranch(Pc + 16, true, 0);
+    }
+    break;
+  }
+  case ExtraWorkloadId::Fft: {
+    const DataSegment &Samples = Layout.segment("samples");
+    const DataSegment &Twiddles = Layout.segment("twiddles");
+    StreamCursor Out = KernelTraceGenerator::cursorFor(
+        Layout.segment("spectrum"), WorkSplit::SecondHalf);
+    uint64_t Half = Samples.Bytes / 2;
+    uint64_t Stride = 64;
+    uint64_t Pos = Half; // GPU works the upper half.
+    for (uint64_t I = 0; I != Warps; ++I) {
+      uint8_t V = uint8_t(8 + I % 20);
+      Addr Even = Samples.Base + Pos;
+      Addr Odd = Samples.Base + Half + ((Pos - Half + Stride) % Half);
+      Trace.emitSimdLoad(Pc + 0, V, Even, 8, 8, 8);
+      Trace.emitSimdLoad(Pc + 4, uint8_t(V + 1), Odd, 8, 8, 8);
+      Trace.emitLoad(Pc + 8, uint8_t(V + 2),
+                     Twiddles.Base + (I % 512) * 8, 8);
+      Trace.emitAlu(Opcode::FpMul, Pc + 12, uint8_t(V + 3), uint8_t(V + 1),
+                    uint8_t(V + 2));
+      Trace.emitAlu(Opcode::FpAlu, Pc + 16, uint8_t(V + 3), V,
+                    uint8_t(V + 3));
+      Trace.emitSimdStore(Pc + 20, uint8_t(V + 3), Out.advance(64), 8, 8, 8);
+      Trace.emitBranch(Pc + 24, true, 0);
+      Pos += 128;
+      if (Pos >= Samples.Bytes) {
+        Pos = Half;
+        Stride = Stride >= Half / 2 ? 64 : Stride * 2;
+      }
+    }
+    break;
+  }
+  case ExtraWorkloadId::Bfs: {
+    StreamCursor Offsets = KernelTraceGenerator::cursorFor(
+        Layout.segment("offsets"), WorkSplit::SecondHalf);
+    const DataSegment &Edges = Layout.segment("edges");
+    const DataSegment &Dist = Layout.segment("dist");
+    for (uint64_t I = 0; I != Warps; ++I) {
+      uint8_t V = uint8_t(8 + I % 20);
+      Trace.emitSimdLoad(Pc + 0, V, Offsets.advance(32), 4, 8, 4);
+      // Divergent gathers: wide lane stride models per-lane neighbors.
+      Addr Edge = Edges.Base + alignDown(Rng.nextBelow(Edges.Bytes / 2), 4);
+      Trace.emitSimdLoad(Pc + 4, uint8_t(V + 1), Edge, 4, 8, 256);
+      Addr Visited = Dist.Base + alignDown(Rng.nextBelow(Dist.Bytes / 2), 4);
+      Trace.emitSimdLoad(Pc + 8, uint8_t(V + 2), Visited, 4, 8, 128);
+      // Divergent visited-check branch.
+      Trace.emitBranch(Pc + 12, Rng.nextBool(0.4), uint8_t(V + 2));
+      if (I % 3 == 0)
+        Trace.emitSimdStore(Pc + 16, uint8_t(V + 2), Visited, 4, 8, 128);
+      Trace.emitAlu(Opcode::IntAlu, Pc + 20, 0, 0);
+      Trace.emitBranch(Pc + 24, true, 0);
+    }
+    break;
+  }
+  }
+  return Trace;
+}
+
+uint64_t sumBytes(const std::vector<DataObjectSpec> &Objects,
+                  TransferDir Dir) {
+  uint64_t Bytes = 0;
+  for (const DataObjectSpec &Spec : Objects)
+    if (Spec.Dir == Dir)
+      Bytes += Spec.Bytes;
+  return Bytes;
+}
+
+std::vector<std::string> names(const std::vector<DataObjectSpec> &Objects,
+                               TransferDir Dir) {
+  std::vector<std::string> Names;
+  for (const DataObjectSpec &Spec : Objects)
+    if (Spec.Dir == Dir)
+      Names.push_back(Spec.Name);
+  return Names;
+}
+
+} // namespace
+
+LoweredProgram hetsim::buildExtraWorkload(ExtraWorkloadId Id,
+                                          const SystemConfig &Config,
+                                          uint64_t Elements) {
+  if (Elements < 64)
+    fatalError("extra workload needs at least 64 elements");
+
+  std::vector<DataObjectSpec> Objects = objectsFor(Id, Elements);
+  LoweredProgram Program;
+  Program.Place =
+      AddressSpaceModel::forKind(Config.AddrSpace).placeObjects(Objects);
+
+  const bool NeedsCopies =
+      AddressSpaceModel::forKind(Config.AddrSpace).needsExplicitTransfer();
+
+  if (NeedsCopies && !Config.IdealComm) {
+    ExecStep In;
+    In.Kind = ExecKind::Transfer;
+    In.Dir = TransferDir::HostToDevice;
+    In.Objects = names(Objects, TransferDir::HostToDevice);
+    In.Bytes = sumBytes(Objects, TransferDir::HostToDevice);
+    In.Async = Config.AsyncCopies;
+    Program.Steps.push_back(std::move(In));
+  }
+
+  ExecStep Compute;
+  Compute.Kind = ExecKind::ParallelCompute;
+  Compute.CpuTrace =
+      cpuTrace(Id, Program.Place.CpuLayout, Elements / 2, Elements);
+  Compute.GpuTrace =
+      gpuTrace(Id, Program.Place.GpuLayout, Elements - Elements / 2,
+               Elements);
+  Program.Steps.push_back(std::move(Compute));
+
+  if (NeedsCopies && !Config.IdealComm) {
+    ExecStep OutStep;
+    OutStep.Kind = ExecKind::Transfer;
+    OutStep.Dir = TransferDir::DeviceToHost;
+    OutStep.Objects = names(Objects, TransferDir::DeviceToHost);
+    OutStep.Bytes = sumBytes(Objects, TransferDir::DeviceToHost);
+    OutStep.Async = Config.AsyncCopies;
+    Program.Steps.push_back(std::move(OutStep));
+  }
+  if (Config.AsyncCopies) {
+    ExecStep Wait;
+    Wait.Kind = ExecKind::DmaWait;
+    Program.Steps.push_back(std::move(Wait));
+  }
+
+  // A short sequential finish over the outputs (reduce/verify pass).
+  ExecStep Finish;
+  Finish.Kind = ExecKind::SerialCompute;
+  const KernelTraceGenerator &AnyGen =
+      KernelTraceGenerator::forKernel(KernelId::Reduction);
+  (void)AnyGen;
+  {
+    TraceBuffer Serial;
+    const DataSegment &Out = Program.Place.CpuLayout.segments().back();
+    StreamCursor Cursor =
+        KernelTraceGenerator::cursorFor(Out, WorkSplit::FullRange);
+    const uint32_t Pc = 0xC00000;
+    uint64_t SerialOps = std::min<uint64_t>(Elements / 4, 16384);
+    for (uint64_t I = 0; I != SerialOps; ++I) {
+      Serial.emitLoad(Pc, 8, Cursor.advance(4), 4);
+      Serial.emitAlu(Opcode::FpAlu, Pc + 4, 7, 7, 8);
+      Serial.emitBranch(Pc + 8, true, 0);
+    }
+    Finish.CpuTrace = std::move(Serial);
+  }
+  Program.Steps.push_back(std::move(Finish));
+  return Program;
+}

@@ -1,0 +1,309 @@
+//===- core/HeteroSimulator.cpp -------------------------------------------===//
+
+#include "core/HeteroSimulator.h"
+
+#include "comm/DmaEngine.h"
+#include "comm/MemControllerLink.h"
+#include "comm/PciAperture.h"
+#include "comm/PciExpressLink.h"
+#include "common/Error.h"
+#include "common/Units.h"
+#include "core/ConsistencyValidation.h"
+#include "core/LocalityValidation.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace hetsim;
+
+namespace {
+/// Figure 7's "ideal communication": a mechanism costs only its handful of
+/// extra instructions. We charge this many CPU cycles per host statement
+/// or transfer object.
+constexpr Cycle IdealCommCyclesPerOp = 10;
+
+void accumulate(SegmentResult &Total, const SegmentResult &Part) {
+  Total.Cycles += Part.Cycles;
+  Total.Insts += Part.Insts;
+  Total.MemAccesses += Part.MemAccesses;
+  Total.MemLatencySum += Part.MemLatencySum;
+  Total.BranchMispredicts += Part.BranchMispredicts;
+  Total.ICacheMisses += Part.ICacheMisses;
+  Total.StoreForwards += Part.StoreForwards;
+  Total.PageFaults += Part.PageFaults;
+  Total.PageFaultCycles += Part.PageFaultCycles;
+}
+} // namespace
+
+HeteroSimulator::HeteroSimulator(const SystemConfig &Config)
+    : Config(Config) {
+  buildMachine();
+}
+
+HeteroSimulator::~HeteroSimulator() = default;
+
+MemorySystem &HeteroSimulator::memory() {
+  assert(Mem && "machine not built");
+  return *Mem;
+}
+
+void HeteroSimulator::buildMachine() {
+  Mem = std::make_unique<MemorySystem>(Config.Hier);
+  Cpu = std::make_unique<CpuCore>(Config.Cpu, *Mem);
+  Gpu = std::make_unique<GpuCore>(Config.Gpu, *Mem);
+  Ownership.clear();
+  Fabric = buildFabric();
+}
+
+std::unique_ptr<CommFabric> HeteroSimulator::buildFabric() {
+  if (Config.IdealComm || Config.Connection == ConnectionKind::None)
+    return nullptr;
+  switch (Config.Connection) {
+  case ConnectionKind::PciExpress: {
+    // The partially shared space communicates through the PCI aperture
+    // (Section II-A3); other PCI-E systems use plain memcpy-style links.
+    std::unique_ptr<CommFabric> Link;
+    if (Config.AddrSpace == AddressSpaceKind::PartiallyShared)
+      Link = std::make_unique<PciAperture>(Config.Comm);
+    else
+      Link = std::make_unique<PciExpressLink>(Config.Comm);
+    if (Config.AsyncCopies)
+      return std::make_unique<DmaEngine>(Config.Comm, std::move(Link));
+    return Link;
+  }
+  case ConnectionKind::MemoryController:
+    return std::make_unique<MemControllerLink>(Mem->cpuDram());
+  case ConnectionKind::Interconnection:
+  case ConnectionKind::CacheFsb:
+  case ConnectionKind::Bus:
+    // Modeled as a memory-controller-class on-chip path.
+    return std::make_unique<MemControllerLink>(Mem->cpuDram());
+  case ConnectionKind::None:
+    return nullptr;
+  }
+  hetsim_unreachable("invalid connection kind");
+}
+
+RunResult HeteroSimulator::run(KernelId Kernel) {
+  LoweredProgram Program = lowerKernel(Kernel, Config);
+  return runLowered(Program);
+}
+
+RunResult HeteroSimulator::runLowered(const LoweredProgram &Program) {
+  // Lowered kernel programs must be data-race-free under the weak
+  // consistency model all evaluated systems use (Table I): the lowering
+  // is responsible for inserting enough synchronization. A violation
+  // here is a lowering bug, not a workload property.
+  assert(!Program.BuiltFromKernel ||
+         validateRaceFree(Program, ConsistencyModel::Weak));
+
+  // Under an explicit shared-locality scheme the Sequoia-style
+  // discipline must hold: shared objects are pushed before every round.
+  assert(!(Program.BuiltFromKernel &&
+           (Config.Locality.Shared == SharedLocality::Explicit ||
+            Config.Locality.Shared == SharedLocality::Hybrid)) ||
+         validateExplicitLocality(Program));
+
+  // Fresh machine per run: runs must not contaminate each other.
+  buildMachine();
+
+  RunResult Result;
+  Result.CommSourceLines = Program.Source.lineCount();
+
+  // Map every placed object into the owning PU's page table.
+  for (const DataSegment &Segment : Program.Place.CpuLayout.segments())
+    Mem->mapRange(PuKind::Cpu, Segment.Base, Segment.Bytes);
+  for (const DataSegment &Segment : Program.Place.GpuLayout.segments())
+    Mem->mapRange(PuKind::Gpu, Segment.Base, Segment.Bytes);
+
+  // Enforce the address-space model's visibility rules on every access.
+  {
+    SharedSpacePolicy Policy;
+    Policy.SpaceModel = &AddressSpaceModel::forKind(Config.AddrSpace);
+    Mem->setSharedPolicy(Policy);
+  }
+
+  // Register shared objects for ownership bookkeeping.
+  if (Config.UseOwnership) {
+    for (const std::string &Name : Program.Place.SharedObjects) {
+      const DataSegment &Segment = Program.Place.CpuLayout.segment(Name);
+      Ownership.registerObject(Name, Segment.Base, Segment.Bytes,
+                               PuKind::Cpu);
+    }
+  }
+
+  Cycle CpuNow = 0; // Absolute time in CPU cycles.
+  TimeBreakdown &Time = Result.Time;
+
+  auto ChargeComm = [&](Cycle CpuCycles) {
+    Time.CommunicationNs += cyclesToNs(PuKind::Cpu, CpuCycles);
+    CpuNow += CpuCycles;
+  };
+
+  for (const ExecStep &Step : Program.Steps) {
+    switch (Step.Kind) {
+    case ExecKind::SerialCompute: {
+      SegmentResult Seg = Cpu->run(Step.CpuTrace, CpuNow);
+      accumulate(Result.CpuTotal, Seg);
+      Time.SequentialNs += cyclesToNs(PuKind::Cpu, Seg.Cycles);
+      // In-flight async copies (ADSM lazy paging) overlap the serial
+      // pass; only time beyond it is exposed as communication.
+      Cycle Span = Seg.Cycles;
+      if (Fabric) {
+        Cycle Busy = Fabric->busyUntil();
+        if (Busy > CpuNow + Seg.Cycles)
+          Span = Busy - CpuNow;
+      }
+      Time.CommunicationNs += cyclesToNs(PuKind::Cpu, Span - Seg.Cycles);
+      CpuNow += Span;
+      break;
+    }
+
+    case ExecKind::ParallelCompute: {
+      // The GPU cannot start until in-flight copies of its inputs land.
+      Cycle DelayCpuCycles = 0;
+      if (Fabric && Fabric->busyUntil() > CpuNow)
+        DelayCpuCycles = Fabric->busyUntil() - CpuNow;
+      double DelayNs = cyclesToNs(PuKind::Cpu, DelayCpuCycles);
+      Cycle GpuStart = nsToCycles(
+          PuKind::Gpu, cyclesToNs(PuKind::Cpu, CpuNow + DelayCpuCycles));
+
+      SegmentResult CpuSeg, GpuSeg;
+      if (!Config.InterleavedContention) {
+        CpuSeg = Cpu->run(Step.CpuTrace, CpuNow);
+        GpuSeg = Gpu->run(Step.GpuTrace, GpuStart);
+      } else {
+        // Interleave slices of the two traces by simulated time so the
+        // shared uncore sees the PUs' accesses in temporal order.
+        const size_t Slice = std::max(1u, Config.ContentionSliceRecords);
+        const TraceRecord *CpuRecords = Step.CpuTrace.records().data();
+        const TraceRecord *GpuRecords = Step.GpuTrace.records().data();
+        size_t CpuLeft = Step.CpuTrace.size();
+        size_t GpuLeft = Step.GpuTrace.size();
+        Cycle CpuCursor = CpuNow;
+        Cycle GpuCursor = GpuStart;
+        while (CpuLeft != 0 || GpuLeft != 0) {
+          bool PickCpu;
+          if (CpuLeft == 0)
+            PickCpu = false;
+          else if (GpuLeft == 0)
+            PickCpu = true;
+          else
+            PickCpu = cyclesToNs(PuKind::Cpu, CpuCursor) <=
+                      cyclesToNs(PuKind::Gpu, GpuCursor);
+          if (PickCpu) {
+            size_t N = std::min(Slice, CpuLeft);
+            SegmentResult Part = Cpu->run(CpuRecords, N, CpuCursor);
+            CpuCursor += Part.Cycles;
+            CpuRecords += N;
+            CpuLeft -= N;
+            accumulate(CpuSeg, Part);
+          } else {
+            size_t N = std::min(Slice, GpuLeft);
+            SegmentResult Part = Gpu->run(GpuRecords, N, GpuCursor);
+            GpuCursor += Part.Cycles;
+            GpuRecords += N;
+            GpuLeft -= N;
+            accumulate(GpuSeg, Part);
+          }
+        }
+        CpuSeg.Cycles = CpuCursor - CpuNow;
+        GpuSeg.Cycles = GpuCursor - GpuStart;
+        CpuSeg.Insts = Step.CpuTrace.size();
+        GpuSeg.Insts = Step.GpuTrace.size();
+      }
+      accumulate(Result.CpuTotal, CpuSeg);
+      accumulate(Result.GpuTotal, GpuSeg);
+      double CpuNs = cyclesToNs(PuKind::Cpu, CpuSeg.Cycles);
+      double GpuNs = cyclesToNs(PuKind::Gpu, GpuSeg.Cycles);
+
+      // Batched first-touch page faults stall the GPU round (LRB).
+      double FaultNs = 0;
+      if (Step.PageFaultPages != 0) {
+        Result.PageFaults += Step.PageFaultPages;
+        FaultNs = cyclesToNs(PuKind::Cpu,
+                             Step.PageFaultPages * Config.Comm.LibPageFault);
+      }
+
+      double SpanNs = std::max(CpuNs, DelayNs + GpuNs + FaultNs);
+      double ComputeSpanNs = std::max(CpuNs, GpuNs);
+      Time.ParallelNs += ComputeSpanNs;
+      Time.CommunicationNs += SpanNs - ComputeSpanNs;
+      CpuNow += nsToCycles(PuKind::Cpu, SpanNs);
+      break;
+    }
+
+    case ExecKind::Transfer: {
+      ++Result.TransferCount;
+      Result.TransferredBytes += Step.Bytes;
+      if (!Fabric) {
+        // Ideal communication: only the data-handling instructions.
+        Cycle Ops = std::max<Cycle>(1, Step.Objects.size());
+        ChargeComm(Ops * IdealCommCyclesPerOp);
+        break;
+      }
+      TransferTiming Timing = Fabric->transfer(Step.Bytes, Step.Dir, CpuNow);
+      ChargeComm(Timing.CpuBusyCycles);
+      break;
+    }
+
+    case ExecKind::DmaWait: {
+      if (Fabric)
+        ChargeComm(Fabric->waitAll(CpuNow));
+      break;
+    }
+
+    case ExecKind::OwnershipToGpu: {
+      // Host releases what it owns; the GPU round acquires (Figure 2(b)).
+      // Objects the GPU kept from a previous round need no transition.
+      for (const std::string &Name : Step.Objects) {
+        if (Ownership.ownerOfObject(Name) == PuKind::Gpu)
+          continue;
+        Ownership.release(Name, PuKind::Cpu);
+        Ownership.acquire(Name, PuKind::Gpu);
+      }
+      Result.OwnershipActions += Step.Objects.empty() ? 0 : 2;
+      ChargeComm(Config.IdealComm ? IdealCommCyclesPerOp
+                                  : Config.Comm.ApiAcquire);
+      break;
+    }
+
+    case ExecKind::OwnershipToCpu: {
+      for (const std::string &Name : Step.Objects) {
+        if (Ownership.ownerOfObject(Name) == PuKind::Cpu)
+          continue;
+        Ownership.release(Name, PuKind::Gpu);
+        Ownership.acquire(Name, PuKind::Cpu);
+      }
+      Result.OwnershipActions += Step.Objects.empty() ? 0 : 2;
+      // Release semantics: the GPU's dirty shared lines become visible.
+      Mem->flushPrivate(PuKind::Gpu);
+      ChargeComm(Config.IdealComm ? IdealCommCyclesPerOp
+                                  : Config.Comm.ApiAcquire);
+      break;
+    }
+
+    case ExecKind::PushLocality: {
+      Cycle Cost = 0;
+      for (const std::string &Name : Step.Objects) {
+        const DataSegment &Segment = Program.Place.CpuLayout.segment(Name);
+        Cost += Mem->pushToShared(PuKind::Cpu, Segment.Base, Segment.Bytes,
+                                  CpuNow + Cost);
+      }
+      Result.PushNs += cyclesToNs(PuKind::Cpu, Cost);
+      ChargeComm(Cost);
+      break;
+    }
+    }
+  }
+
+  if (Fabric)
+    ChargeComm(Fabric->waitAll(CpuNow));
+
+  if (Fabric) {
+    // Fabric counters supersede the step-level tally when present.
+    Result.TransferredBytes = Fabric->bytesMoved();
+    Result.TransferCount = Fabric->transferCount();
+  }
+  return Result;
+}

@@ -1,0 +1,84 @@
+//===- core/HeteroSimulator.h - The co-simulation driver --------*- C++ -*-===//
+///
+/// \file
+/// Drives one lowered program on one system configuration: the CPU core
+/// executes serial segments, both cores execute parallel rounds, and the
+/// configured communication fabric executes transfers. Execution time is
+/// split into the paper's three categories (Section V-A): sequential,
+/// parallel, and communication — where communication is everything a
+/// mechanism adds to the makespan (synchronous copy time, async-copy
+/// stalls, ownership actions, and first-touch page-fault handling).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HETSIM_CORE_HETEROSIMULATOR_H
+#define HETSIM_CORE_HETEROSIMULATOR_H
+
+#include "comm/CommFabric.h"
+#include "core/Lowering.h"
+
+#include <memory>
+
+namespace hetsim {
+
+/// The three-way time split of Figure 5, in nanoseconds.
+struct TimeBreakdown {
+  double SequentialNs = 0;
+  double ParallelNs = 0;
+  double CommunicationNs = 0;
+
+  double totalNs() const {
+    return SequentialNs + ParallelNs + CommunicationNs;
+  }
+  double commFraction() const {
+    double Total = totalNs();
+    return Total == 0 ? 0.0 : CommunicationNs / Total;
+  }
+};
+
+/// Everything one run produces.
+struct RunResult {
+  TimeBreakdown Time;
+  SegmentResult CpuTotal;     ///< Aggregated over CPU segments.
+  SegmentResult GpuTotal;     ///< Aggregated over GPU segments.
+  uint64_t TransferredBytes = 0;
+  uint64_t TransferCount = 0;
+  uint64_t PageFaults = 0;    ///< Batched first-touch faults charged.
+  uint64_t OwnershipActions = 0;
+  double PushNs = 0;          ///< Explicit-locality push time (in comm).
+  unsigned CommSourceLines = 0; ///< Table V cell for this (kernel, model).
+};
+
+/// One simulated system instance. Construct once per configuration; each
+/// run() builds a fresh memory system so runs are independent.
+class HeteroSimulator {
+public:
+  explicit HeteroSimulator(const SystemConfig &Config);
+  ~HeteroSimulator();
+
+  /// Lowers and runs \p Kernel.
+  RunResult run(KernelId Kernel);
+
+  /// Runs an already-lowered program (for tests and custom programs).
+  RunResult runLowered(const LoweredProgram &Program);
+
+  const SystemConfig &config() const { return Config; }
+
+  /// The memory system of the most recent run (for post-run inspection).
+  MemorySystem &memory();
+
+private:
+  void buildMachine();
+  std::unique_ptr<CommFabric> buildFabric();
+
+  SystemConfig Config;
+  std::unique_ptr<MemorySystem> Mem;
+  std::unique_ptr<CpuCore> Cpu;
+  std::unique_ptr<GpuCore> Gpu;
+  std::unique_ptr<CommFabric> Fabric;
+  OwnershipRegistry Ownership;
+};
+
+} // namespace hetsim
+
+#endif // HETSIM_CORE_HETEROSIMULATOR_H

@@ -1,0 +1,152 @@
+//===- core/KernelModel.cpp -----------------------------------------------===//
+
+#include "core/KernelModel.h"
+
+#include "common/Error.h"
+
+#include <cassert>
+
+using namespace hetsim;
+
+static std::vector<std::string> objectsWithDir(KernelId Id, TransferDir Dir) {
+  std::vector<std::string> Names;
+  for (const DataObjectSpec &Spec : kernelDataObjects(Id))
+    if (Spec.Dir == Dir)
+      Names.push_back(Spec.Name);
+  return Names;
+}
+
+KernelProgram KernelProgram::build(KernelId Id) {
+  const KernelCharacteristics &K = kernelCharacteristics(Id);
+  KernelProgram P;
+  P.Id = Id;
+  P.Rounds = K.GpuRounds;
+
+  std::vector<std::string> Inputs =
+      objectsWithDir(Id, TransferDir::HostToDevice);
+  std::vector<std::string> Outputs =
+      objectsWithDir(Id, TransferDir::DeviceToHost);
+
+  auto Par = [&](unsigned Round, uint64_t CpuN, uint64_t GpuN) {
+    KernelPhase Phase;
+    Phase.Kind = PhaseKind::Parallel;
+    Phase.CpuInsts = CpuN;
+    Phase.GpuInsts = GpuN;
+    Phase.Round = Round;
+    P.Phases.push_back(std::move(Phase));
+  };
+  auto Serial = [&](uint64_t N) {
+    if (N == 0)
+      return;
+    KernelPhase Phase;
+    Phase.Kind = PhaseKind::Serial;
+    Phase.SerialInsts = N;
+    P.Phases.push_back(std::move(Phase));
+  };
+  auto Xfer = [&](PhaseKind Kind, std::vector<std::string> Objs,
+                  unsigned Round) {
+    KernelPhase Phase;
+    Phase.Kind = Kind;
+    Phase.Objects = std::move(Objs);
+    Phase.Round = Round;
+    P.Phases.push_back(std::move(Phase));
+  };
+
+  switch (Id) {
+  case KernelId::Reduction:
+  case KernelId::MatrixMul:
+  case KernelId::Dct:
+  case KernelId::MergeSort:
+    // parallel -> merge -> sequential (or fully parallel): one round.
+    Xfer(PhaseKind::TransferIn, Inputs, 0);
+    Par(0, K.CpuInsts, K.GpuInsts);
+    Xfer(PhaseKind::TransferOut, Outputs, 0);
+    Serial(K.SerialInsts);
+    break;
+
+  case KernelId::Convolution: {
+    // parallel -> merge -> parallel: two rounds, three communications
+    // (initial in, mid out, final out); round-2 inputs stay in place.
+    uint64_t CpuHalf = K.CpuInsts / 2;
+    uint64_t GpuHalf = K.GpuInsts / 2;
+    Xfer(PhaseKind::TransferIn, Inputs, 0);
+    Par(0, CpuHalf, GpuHalf);
+    Xfer(PhaseKind::TransferOut, Outputs, 0);
+    Serial(K.SerialInsts);
+    Par(1, K.CpuInsts - CpuHalf, K.GpuInsts - GpuHalf);
+    Xfer(PhaseKind::TransferOut, Outputs, 1);
+    break;
+  }
+
+  case KernelId::KMeans: {
+    // parallel -> merge -> sequential, repeated: three rounds; each round
+    // sends centroids down, brings them back, and updates sequentially.
+    uint64_t CpuPer = K.CpuInsts / K.GpuRounds;
+    uint64_t GpuPer = K.GpuInsts / K.GpuRounds;
+    uint64_t SerialPer = K.SerialInsts / K.GpuRounds;
+    for (unsigned R = 0; R != K.GpuRounds; ++R) {
+      bool Last = R + 1 == K.GpuRounds;
+      // Round 0 moves the whole input; later rounds re-send centroids.
+      Xfer(PhaseKind::TransferIn, R == 0 ? Inputs : Outputs, R);
+      Par(R, Last ? K.CpuInsts - CpuPer * (K.GpuRounds - 1) : CpuPer,
+          Last ? K.GpuInsts - GpuPer * (K.GpuRounds - 1) : GpuPer);
+      Xfer(PhaseKind::TransferOut, Outputs, R);
+      Serial(Last ? K.SerialInsts - SerialPer * (K.GpuRounds - 1)
+                  : SerialPer);
+    }
+    break;
+  }
+  }
+
+  assert(P.communicationCount() == K.NumComms &&
+         "phase structure disagrees with Table III communications");
+  assert(P.totalCpuInsts() == K.CpuInsts && "CPU instruction total drifted");
+  assert(P.totalGpuInsts() == K.GpuInsts && "GPU instruction total drifted");
+  assert(P.totalSerialInsts() == K.SerialInsts &&
+         "serial instruction total drifted");
+  return P;
+}
+
+unsigned KernelProgram::communicationCount() const {
+  unsigned Count = 0;
+  for (const KernelPhase &Phase : Phases)
+    if (Phase.Kind == PhaseKind::TransferIn ||
+        Phase.Kind == PhaseKind::TransferOut)
+      ++Count;
+  return Count;
+}
+
+uint64_t KernelProgram::totalCpuInsts() const {
+  uint64_t Total = 0;
+  for (const KernelPhase &Phase : Phases)
+    Total += Phase.CpuInsts;
+  return Total;
+}
+
+uint64_t KernelProgram::totalGpuInsts() const {
+  uint64_t Total = 0;
+  for (const KernelPhase &Phase : Phases)
+    Total += Phase.GpuInsts;
+  return Total;
+}
+
+uint64_t KernelProgram::totalSerialInsts() const {
+  uint64_t Total = 0;
+  for (const KernelPhase &Phase : Phases)
+    Total += Phase.SerialInsts;
+  return Total;
+}
+
+uint64_t KernelProgram::initialTransferBytes() const {
+  for (const KernelPhase &Phase : Phases) {
+    if (Phase.Kind != PhaseKind::TransferIn)
+      continue;
+    uint64_t Bytes = 0;
+    for (const std::string &Name : Phase.Objects)
+      for (const DataObjectSpec &Spec : kernelDataObjects(Id))
+        if (Name == Spec.Name)
+          Bytes += Spec.Bytes;
+    return Bytes;
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+//===- core/KernelModel.h - Model-independent kernel programs ---*- C++ -*-===//
+///
+/// \file
+/// The abstract (memory-model-independent) structure of each benchmark:
+/// a sequence of phases — parallel compute rounds split across the PUs,
+/// sequential merge/finalize parts, and the points where data logically
+/// crosses the CPU/GPU boundary. The per-memory-model lowering
+/// (core/Lowering.h) turns the same program into different instruction
+/// streams and host source, which is what keeps the timing results
+/// (Figures 5-7) and programmability results (Table V) consistent.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HETSIM_CORE_KERNELMODEL_H
+#define HETSIM_CORE_KERNELMODEL_H
+
+#include "trace/Kernel.h"
+
+#include <string>
+#include <vector>
+
+namespace hetsim {
+
+/// Kinds of abstract program phases.
+enum class PhaseKind : uint8_t {
+  Serial,      ///< CPU-only sequential work.
+  Parallel,    ///< CPU and GPU compute concurrently (one GPU round).
+  TransferIn,  ///< Data must be visible to the GPU before the next round.
+  TransferOut, ///< GPU results must be visible to the CPU.
+};
+
+/// One phase.
+struct KernelPhase {
+  PhaseKind Kind;
+  uint64_t CpuInsts = 0; ///< Parallel: CPU-half instructions.
+  uint64_t GpuInsts = 0; ///< Parallel: GPU-half instructions.
+  uint64_t SerialInsts = 0;
+  std::vector<std::string> Objects; ///< Transfer phases: object names.
+  unsigned Round = 0;               ///< GPU round this phase belongs to.
+};
+
+/// The abstract program of one kernel.
+class KernelProgram {
+public:
+  /// Builds the program for \p Id from its Table III characteristics.
+  /// Postconditions (checked by tests): instruction totals match Table
+  /// III, the number of transfer phases equals Table III's "# of
+  /// communications", and the number of Parallel phases equals GpuRounds.
+  static KernelProgram build(KernelId Id);
+
+  KernelId kernel() const { return Id; }
+  const std::vector<KernelPhase> &phases() const { return Phases; }
+  unsigned rounds() const { return Rounds; }
+
+  /// Number of TransferIn + TransferOut phases.
+  unsigned communicationCount() const;
+
+  /// Sums of instruction budgets across phases.
+  uint64_t totalCpuInsts() const;
+  uint64_t totalGpuInsts() const;
+  uint64_t totalSerialInsts() const;
+
+  /// Total bytes named by the first TransferIn (the "initial transfer").
+  uint64_t initialTransferBytes() const;
+
+private:
+  KernelId Id = KernelId::Reduction;
+  std::vector<KernelPhase> Phases;
+  unsigned Rounds = 1;
+};
+
+} // namespace hetsim
+
+#endif // HETSIM_CORE_KERNELMODEL_H

@@ -1,0 +1,43 @@
+//===- core/LocalityValidation.cpp ----------------------------------------===//
+
+#include "core/LocalityValidation.h"
+
+#include <set>
+
+using namespace hetsim;
+
+std::vector<LocalityViolation>
+hetsim::findUnstagedSharedUses(const LoweredProgram &Program) {
+  std::vector<LocalityViolation> Violations;
+  std::set<std::string> Staged;
+
+  for (const ExecStep &Step : Program.Steps) {
+    switch (Step.Kind) {
+    case ExecKind::PushLocality:
+      for (const std::string &Name : Step.Objects)
+        Staged.insert(Name);
+      break;
+
+    case ExecKind::ParallelCompute:
+      for (const std::string &Name : Program.Place.SharedObjects)
+        if (Staged.count(Name) == 0)
+          Violations.push_back({Step.Round, Name});
+      break;
+
+    case ExecKind::OwnershipToCpu:
+      // The CPU re-acquiring an object invalidates its staged copy for
+      // subsequent rounds: it must be pushed again.
+      for (const std::string &Name : Step.Objects)
+        Staged.erase(Name);
+      break;
+
+    default:
+      break;
+    }
+  }
+  return Violations;
+}
+
+bool hetsim::validateExplicitLocality(const LoweredProgram &Program) {
+  return findUnstagedSharedUses(Program).empty();
+}

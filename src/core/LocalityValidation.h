@@ -1,0 +1,39 @@
+//===- core/LocalityValidation.h - Push-before-use checking -----*- C++ -*-===//
+///
+/// \file
+/// Section II-B6 points to Sequoia as the example of a language that
+/// *strictly enforces* locality. This validator brings that discipline to
+/// explicit shared-locality programs: under an explicit scheme, every
+/// shared object a parallel round touches must have been staged into the
+/// shared cache by a preceding `push` — using it unstaged is a locality
+/// bug (the paper's II-B4 discussion: "cache hits for the shared memory
+/// space cannot be guaranteed" without it).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HETSIM_CORE_LOCALITYVALIDATION_H
+#define HETSIM_CORE_LOCALITYVALIDATION_H
+
+#include "core/Lowering.h"
+
+namespace hetsim {
+
+/// One unstaged use.
+struct LocalityViolation {
+  unsigned Round = 0;
+  std::string Object;
+};
+
+/// Checks \p Program's parallel rounds: every shared object must be
+/// covered by a PushLocality step earlier in the program (pushes stay
+/// valid until the object's ownership returns to the CPU, which
+/// invalidates the staged copy's usefulness for the next round).
+std::vector<LocalityViolation>
+findUnstagedSharedUses(const LoweredProgram &Program);
+
+/// True if \p Program satisfies the strict (Sequoia-style) discipline.
+bool validateExplicitLocality(const LoweredProgram &Program);
+
+} // namespace hetsim
+
+#endif // HETSIM_CORE_LOCALITYVALIDATION_H

@@ -1,0 +1,88 @@
+//===- core/SourceLineModel.cpp -------------------------------------------===//
+
+#include "core/SourceLineModel.h"
+
+#include "common/Error.h"
+
+using namespace hetsim;
+
+static std::string joinNames(const std::vector<DataObjectSpec> &Objects) {
+  std::string Out;
+  for (const DataObjectSpec &Spec : Objects) {
+    if (!Out.empty())
+      Out += ", ";
+    Out += Spec.Name;
+  }
+  return Out;
+}
+
+HostSource hetsim::emitCommunicationSource(KernelId Kernel,
+                                           AddressSpaceKind Kind) {
+  HostSource Source;
+  const std::vector<DataObjectSpec> &Objects = kernelDataObjects(Kernel);
+  const KernelProgram Program = KernelProgram::build(Kernel);
+
+  switch (Kind) {
+  case AddressSpaceKind::Unified:
+    // No special APIs are required (Section V-C).
+    break;
+
+  case AddressSpaceKind::PartiallyShared: {
+    // Figure 2(b): one release before and one acquire after each GPU
+    // round. Emitted per Parallel phase — convolution's two rounds are
+    // distinct program sections and k-means' rounds repeat the pair.
+    for (const KernelPhase &Phase : Program.phases()) {
+      if (Phase.Kind != PhaseKind::Parallel)
+        continue;
+      Source.Statements.push_back("releaseOwnership(" + joinNames(Objects) +
+                                  ");");
+      std::string Outs;
+      for (const DataObjectSpec &Spec : Objects)
+        if (Spec.Dir == TransferDir::DeviceToHost)
+          Outs += Outs.empty() ? Spec.Name : std::string(", ") + Spec.Name;
+      Source.Statements.push_back("acquireOwnership(" + Outs + ");");
+    }
+    break;
+  }
+
+  case AddressSpaceKind::Disjoint:
+    // Figure 3(a): per object, a duplicated-pointer GPU allocation, a
+    // memcpy in its primary direction, and a free.
+    for (const DataObjectSpec &Spec : Objects)
+      Source.Statements.push_back(std::string("int *gpu_") + Spec.Name +
+                                  " = GPUmemallocate(" +
+                                  std::to_string(Spec.Bytes) + ");");
+    for (const DataObjectSpec &Spec : Objects) {
+      if (Spec.Dir == TransferDir::HostToDevice)
+        Source.Statements.push_back(std::string("Memcpy(gpu_") + Spec.Name +
+                                    ", " + Spec.Name +
+                                    ", MemcpyHostToDevice);");
+      else
+        Source.Statements.push_back(std::string("Memcpy(") + Spec.Name +
+                                    ", gpu_" + Spec.Name +
+                                    ", MemcpyDeviceToHost);");
+    }
+    for (const DataObjectSpec &Spec : Objects)
+      Source.Statements.push_back(std::string("GPUfree(gpu_") + Spec.Name +
+                                  ");");
+    break;
+
+  case AddressSpaceKind::Adsm:
+    // Figure 3(b): adsmAlloc/accfree per object; the GMAC runtime syncs
+    // data implicitly at kernel boundaries, so no copy statements.
+    for (const DataObjectSpec &Spec : Objects)
+      Source.Statements.push_back(std::string(Spec.Name) + " = adsmAlloc(" +
+                                  std::to_string(Spec.Bytes) + ");");
+    for (const DataObjectSpec &Spec : Objects)
+      Source.Statements.push_back(std::string("accfree(") + Spec.Name +
+                                  ");");
+    break;
+  }
+
+  return Source;
+}
+
+unsigned hetsim::communicationSourceLines(KernelId Kernel,
+                                          AddressSpaceKind Kind) {
+  return emitCommunicationSource(Kernel, Kind).lineCount();
+}

@@ -1,0 +1,47 @@
+//===- core/SourceLineModel.h - Programmability (Table V) -------*- C++ -*-===//
+///
+/// \file
+/// The programmability metric of Section V-C: the number of source lines a
+/// programmer must add to handle data communication under each address
+/// space. Instead of hand counting, we *emit* the host-side communication
+/// statements each model requires (mirroring the paper's Figures 2 and 3)
+/// and count them:
+///
+///   unified          — nothing: no special APIs (0 lines).
+///   partially shared — releaseOwnership(...) before and
+///                      acquireOwnership(...) after every GPU round
+///                      (sharedmalloc replaces malloc: not an extra line).
+///   disjoint         — per shared object: a GPU-side allocation with its
+///                      duplicated pointer, a Memcpy in the object's
+///                      direction, and a free.
+///   ADSM             — per shared object: adsmAlloc and accfree (the GMAC
+///                      runtime moves data implicitly, so no copy line).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HETSIM_CORE_SOURCELINEMODEL_H
+#define HETSIM_CORE_SOURCELINEMODEL_H
+
+#include "core/KernelModel.h"
+#include "memory/AddressSpaceModel.h"
+
+namespace hetsim {
+
+/// The emitted host-side communication code for one (kernel, model) pair.
+struct HostSource {
+  /// One statement per line, in program order.
+  std::vector<std::string> Statements;
+
+  /// The Table V count.
+  unsigned lineCount() const { return unsigned(Statements.size()); }
+};
+
+/// Emits the communication statements \p Kernel needs under \p Kind.
+HostSource emitCommunicationSource(KernelId Kernel, AddressSpaceKind Kind);
+
+/// Convenience: just the line count (one Table V cell).
+unsigned communicationSourceLines(KernelId Kernel, AddressSpaceKind Kind);
+
+} // namespace hetsim
+
+#endif // HETSIM_CORE_SOURCELINEMODEL_H

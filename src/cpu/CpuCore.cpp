@@ -1,0 +1,186 @@
+//===- cpu/CpuCore.cpp ----------------------------------------------------===//
+
+#include "cpu/CpuCore.h"
+
+#include "memory/MemorySystem.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+using namespace hetsim;
+
+CpiStack hetsim::computeCpiStack(const SegmentResult &Result,
+                                 const CpuConfig &Config) {
+  CpiStack Stack;
+  if (Result.Insts == 0)
+    return Stack;
+  double Insts = double(Result.Insts);
+  Stack.BaseCpi = 1.0 / double(Config.IssueWidth);
+  Stack.BranchCpi =
+      double(Result.BranchMispredicts) * double(Config.MispredictPenalty) /
+      Insts;
+  Stack.FetchCpi =
+      double(Result.ICacheMisses) * double(Config.L1IMissPenalty) / Insts;
+  double Total = double(Result.Cycles) / Insts;
+  Stack.MemDepCpi = Total - Stack.BaseCpi - Stack.BranchCpi - Stack.FetchCpi;
+  if (Stack.MemDepCpi < 0)
+    Stack.MemDepCpi = 0; // Overlap can hide charged penalties.
+  return Stack;
+}
+
+CpuCore::CpuCore(const CpuConfig &Config, MemorySystem &Mem)
+    : Config(Config), Mem(Mem), Predictor(Config.GshareTableBits),
+      ICache(CacheConfig::cpuL1I(), /*RngSeed=*/23) {}
+
+SegmentResult CpuCore::run(const TraceBuffer &Trace, Cycle StartCycle) {
+  return run(Trace.records().data(), Trace.size(), StartCycle);
+}
+
+SegmentResult CpuCore::run(const TraceRecord *Records, size_t Count,
+                           Cycle StartCycle) {
+  SegmentResult Result;
+  Result.Insts = Count;
+  if (Count == 0)
+    return Result;
+
+  // Operand readiness per architectural register.
+  std::vector<Cycle> RegReady(NumTraceRegs, StartCycle);
+
+  // Retire times of in-flight instructions, a ring buffer of ROB size:
+  // instruction I cannot dispatch until instruction I - RobEntries retired.
+  std::vector<Cycle> RobRetire(Config.RobEntries, StartCycle);
+  uint64_t RobHead = 0;
+
+  // Fetch: FetchWidth per cycle, stalled by mispredicted branches.
+  Cycle FetchCycle = StartCycle;
+  unsigned FetchedThisCycle = 0;
+
+  // Issue bandwidth: IssueWidth per cycle.
+  Cycle IssueBusyCycle = StartCycle;
+  unsigned IssuedThisCycle = 0;
+
+  // In-order retirement.
+  Cycle LastRetire = StartCycle;
+  unsigned RetiredThisCycle = 0;
+
+  Addr LastFetchLine = ~Addr(0);
+
+  // Store buffer for store-to-load forwarding: exact address -> cycle at
+  // which the stored data is forwardable.
+  std::unordered_map<Addr, Cycle> StoreBuffer;
+
+  for (size_t Index = 0; Index != Count; ++Index) {
+    const TraceRecord &R = Records[Index];
+    // --- Fetch ---
+    if (FetchedThisCycle >= Config.FetchWidth) {
+      ++FetchCycle;
+      FetchedThisCycle = 0;
+    }
+    // Instruction fetch goes through the L1I one line at a time; a miss
+    // stalls the front end.
+    if (Config.ModelInstructionFetch) {
+      Addr FetchLine = alignDown(R.Pc, CacheLineBytes);
+      if (FetchLine != LastFetchLine) {
+        LastFetchLine = FetchLine;
+        if (!ICache.access(FetchLine, /*IsWrite=*/false).Hit) {
+          ++Result.ICacheMisses;
+          FetchCycle += Config.L1IMissPenalty;
+          FetchedThisCycle = 0;
+        }
+      }
+    }
+    ++FetchedThisCycle;
+
+    // --- Dispatch: needs a ROB slot ---
+    Cycle RobFree = RobRetire[RobHead % Config.RobEntries];
+    Cycle DispatchCycle = std::max(FetchCycle, RobFree);
+
+    // --- Issue: operands + an issue slot ---
+    Cycle Ready = DispatchCycle;
+    if (R.SrcRegA != NoReg)
+      Ready = std::max(Ready, RegReady[R.SrcRegA]);
+    if (R.SrcRegB != NoReg)
+      Ready = std::max(Ready, RegReady[R.SrcRegB]);
+    if (Ready > IssueBusyCycle) {
+      IssueBusyCycle = Ready;
+      IssuedThisCycle = 0;
+    } else if (IssuedThisCycle >= Config.IssueWidth) {
+      ++IssueBusyCycle;
+      IssuedThisCycle = 0;
+      Ready = IssueBusyCycle;
+    } else {
+      Ready = IssueBusyCycle;
+    }
+    ++IssuedThisCycle;
+    Cycle IssueCycle = Ready;
+
+    // --- Execute ---
+    Cycle Complete = IssueCycle + executeLatency(PuKind::Cpu, R.Op);
+    if (isGlobalMemoryOp(R.Op)) {
+      MemAccessResult MemResult = Mem.access(
+          PuKind::Cpu, R.MemAddr, std::max<uint32_t>(R.MemBytes, 1),
+          isStoreOp(R.Op), IssueCycle);
+      ++Result.MemAccesses;
+      Result.MemLatencySum += MemResult.Latency;
+      if (MemResult.PageFault) {
+        ++Result.PageFaults;
+        Result.PageFaultCycles += MemResult.Latency;
+      }
+      // Stores complete for dependence purposes after address+data issue;
+      // the store buffer hides their memory time. Loads wait for data —
+      // unless a recent store to the same address forwards it.
+      if (isStoreOp(R.Op)) {
+        if (Config.EnableStoreForwarding)
+          StoreBuffer[R.MemAddr] = IssueCycle + 1;
+      } else {
+        Complete = IssueCycle + MemResult.Latency;
+        if (Config.EnableStoreForwarding) {
+          auto Hit = StoreBuffer.find(R.MemAddr);
+          if (Hit != StoreBuffer.end()) {
+            ++Result.StoreForwards;
+            Complete = std::max(IssueCycle + 1, Hit->second);
+          }
+        }
+      }
+    }
+
+    if (R.DstReg != NoReg)
+      RegReady[R.DstReg] = Complete;
+
+    // --- Branch resolution ---
+    if (isBranchOp(R.Op)) {
+      bool Correct = Predictor.update(R.Pc, R.IsTaken);
+      if (!Correct) {
+        ++Result.BranchMispredicts;
+        // Refetch from the resolved target.
+        Cycle Refetch = Complete + Config.MispredictPenalty;
+        if (Refetch > FetchCycle) {
+          FetchCycle = Refetch;
+          FetchedThisCycle = 0;
+        }
+      }
+    }
+
+    // --- In-order retirement ---
+    Cycle Retire = std::max(Complete, LastRetire);
+    if (Retire > LastRetire) {
+      LastRetire = Retire;
+      RetiredThisCycle = 0;
+    } else if (RetiredThisCycle >= Config.RetireWidth) {
+      ++LastRetire;
+      RetiredThisCycle = 0;
+      Retire = LastRetire;
+    } else {
+      Retire = LastRetire;
+    }
+    ++RetiredThisCycle;
+
+    RobRetire[RobHead % Config.RobEntries] = Retire;
+    ++RobHead;
+  }
+
+  assert(LastRetire >= StartCycle && "time went backwards");
+  Result.Cycles = LastRetire - StartCycle;
+  return Result;
+}

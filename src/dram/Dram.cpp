@@ -1,0 +1,131 @@
+//===- dram/Dram.cpp ------------------------------------------------------===//
+
+#include "dram/Dram.h"
+
+#include "common/Error.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace hetsim;
+
+DramSystem::DramSystem(const DramConfig &Config) : Config(Config) {
+  if (!Config.isValid())
+    fatalError("invalid DRAM configuration");
+  Banks.resize(uint64_t(Config.Channels) * Config.BanksPerChannel);
+  ChannelBusFree.resize(Config.Channels, 0);
+}
+
+unsigned DramSystem::channelOf(Addr LineAddress) const {
+  // Interleave channels at line granularity for bandwidth.
+  return unsigned((LineAddress >> log2Exact(CacheLineBytes)) &
+                  (Config.Channels - 1));
+}
+
+unsigned DramSystem::bankOf(Addr LineAddress) const {
+  unsigned Shift = log2Exact(CacheLineBytes) + log2Exact(Config.Channels);
+  return unsigned((LineAddress >> Shift) & (Config.BanksPerChannel - 1));
+}
+
+uint64_t DramSystem::rowOf(Addr LineAddress) const {
+  unsigned Shift = log2Exact(CacheLineBytes) + log2Exact(Config.Channels) +
+                   log2Exact(Config.BanksPerChannel);
+  return (LineAddress >> Shift) / (Config.RowBytes / CacheLineBytes);
+}
+
+DramSystem::Bank &DramSystem::bank(Addr LineAddress) {
+  return Banks[channelOf(LineAddress) * Config.BanksPerChannel +
+               bankOf(LineAddress)];
+}
+
+Cycle DramSystem::access(Addr LineAddress, Cycle Now, bool IsWrite) {
+  return accessImpl(LineAddress, Now, IsWrite, /*CapQueue=*/true);
+}
+
+Cycle DramSystem::accessUncapped(Addr LineAddress, Cycle Now, bool IsWrite) {
+  return accessImpl(LineAddress, Now, IsWrite, /*CapQueue=*/false);
+}
+
+Cycle DramSystem::accessImpl(Addr LineAddress, Cycle Now, bool IsWrite,
+                             bool CapQueue) {
+  Bank &B = bank(LineAddress);
+  unsigned Channel = channelOf(LineAddress);
+  uint64_t Row = rowOf(LineAddress);
+
+  Cycle BankFree =
+      CapQueue ? std::min(B.ReadyAt, Now + Config.MaxQueueDelay) : B.ReadyAt;
+  Cycle Start = std::max(Now, BankFree);
+  Cycle ArrayLatency;
+  if (B.OpenRow == Row) {
+    ++Stats.RowHits;
+    ArrayLatency = Config.RowHitLatency;
+  } else {
+    ++Stats.RowMisses;
+    // Open-page pays precharge + activate + CAS on a conflict; a
+    // closed-page bank is already precharged, so only activate + CAS.
+    ArrayLatency = Config.ClosedPage
+                       ? (Config.RowMissLatency + Config.RowHitLatency) / 2
+                       : Config.RowMissLatency;
+    B.OpenRow = Row;
+  }
+  if (Config.ClosedPage)
+    B.OpenRow = ~0ull; // Auto-precharge after the access.
+
+  Cycle ArrayDone = Start + ArrayLatency;
+  Cycle BusFree = CapQueue ? std::min(ChannelBusFree[Channel],
+                                      ArrayDone + Config.MaxQueueDelay)
+                           : ChannelBusFree[Channel];
+  Cycle DataStart = std::max(ArrayDone, BusFree);
+  Cycle Done = DataStart + Config.BusCyclesPerLine;
+  ChannelBusFree[Channel] = Done;
+  B.ReadyAt = Start + ArrayLatency;
+
+  if (IsWrite)
+    ++Stats.Writes;
+  else
+    ++Stats.Reads;
+  Stats.BytesTransferred += CacheLineBytes;
+  return Done;
+}
+
+void DramSystem::enqueue(Addr LineAddress, bool IsWrite) {
+  Queue.push_back({LineAddress, IsWrite});
+}
+
+Cycle DramSystem::drainFrFcfs(Cycle Now) {
+  Cycle Finish = Now;
+  std::vector<Request> Pending;
+  Pending.swap(Queue);
+  std::vector<bool> ServicedFlags(Pending.size(), false);
+  size_t Remaining = Pending.size();
+
+  while (Remaining != 0) {
+    // First-ready: oldest request whose bank has its row open.
+    size_t Pick = Pending.size();
+    for (size_t I = 0; I != Pending.size(); ++I) {
+      if (ServicedFlags[I])
+        continue;
+      if (bank(Pending[I].LineAddress).OpenRow ==
+          rowOf(Pending[I].LineAddress)) {
+        Pick = I;
+        break;
+      }
+    }
+    // Fall back to first-come-first-served.
+    if (Pick == Pending.size()) {
+      for (size_t I = 0; I != Pending.size(); ++I) {
+        if (!ServicedFlags[I]) {
+          Pick = I;
+          break;
+        }
+      }
+    }
+    assert(Pick != Pending.size() && "no request picked");
+    ServicedFlags[Pick] = true;
+    --Remaining;
+    Cycle Done = accessUncapped(Pending[Pick].LineAddress, Now,
+                                Pending[Pick].IsWrite);
+    Finish = std::max(Finish, Done);
+  }
+  return Finish;
+}

@@ -1,0 +1,79 @@
+//===- energy/EnergyModel.cpp ---------------------------------------------===//
+
+#include "energy/EnergyModel.h"
+
+#include "common/StringUtil.h"
+#include "core/HeteroSimulator.h"
+#include "memory/MemorySystem.h"
+
+using namespace hetsim;
+
+EnergyParams EnergyParams::fromConfig(const ConfigStore &Config) {
+  EnergyParams P;
+  P.L1AccessPj = Config.getDouble("energy.l1_pj", P.L1AccessPj);
+  P.L2AccessPj = Config.getDouble("energy.l2_pj", P.L2AccessPj);
+  P.L3AccessPj = Config.getDouble("energy.l3_pj", P.L3AccessPj);
+  P.DramLinePj = Config.getDouble("energy.dram_line_pj", P.DramLinePj);
+  P.RingHopPj = Config.getDouble("energy.ring_hop_pj", P.RingHopPj);
+  P.CpuInstPj = Config.getDouble("energy.cpu_inst_pj", P.CpuInstPj);
+  P.GpuInstPj = Config.getDouble("energy.gpu_inst_pj", P.GpuInstPj);
+  P.ScratchpadPj = Config.getDouble("energy.smem_pj", P.ScratchpadPj);
+  P.PciPerBytePj = Config.getDouble("energy.pci_byte_pj", P.PciPerBytePj);
+  P.MemCtrlPerBytePj =
+      Config.getDouble("energy.memctrl_byte_pj", P.MemCtrlPerBytePj);
+  P.PageFaultNj = Config.getDouble("energy.pagefault_nj", P.PageFaultNj);
+  P.TlbMissPj = Config.getDouble("energy.tlb_miss_pj", P.TlbMissPj);
+  return P;
+}
+
+std::string EnergyReport::renderSummary() const {
+  double Total = totalNj();
+  auto Pct = [Total](double Part) {
+    return Total == 0 ? std::string("0%")
+                      : formatPercent(Part / Total, 0);
+  };
+  std::string Out = "total " + formatDouble(totalUj(), 1) + "uJ: ";
+  Out += "core " + Pct(CoreNj) + ", cache " + Pct(CacheNj) + ", dram " +
+         Pct(DramNj) + ", noc " + Pct(NetworkNj) + ", comm " + Pct(CommNj);
+  return Out;
+}
+
+EnergyReport hetsim::computeEnergy(const EnergyParams &Params,
+                                   MemorySystem &Mem, const RunResult &Result,
+                                   bool PciFabric) {
+  EnergyReport Report;
+
+  // Cores: one event per retired instruction (warp ops on the GPU).
+  Report.CoreNj += Result.CpuTotal.Insts * Params.CpuInstPj / 1e3;
+  Report.CoreNj += Result.GpuTotal.Insts * Params.GpuInstPj / 1e3;
+
+  // Caches.
+  uint64_t L1Accesses =
+      Mem.cpuL1().stats().Accesses + Mem.gpuL1().stats().Accesses;
+  Report.CacheNj += L1Accesses * Params.L1AccessPj / 1e3;
+  Report.CacheNj += Mem.cpuL2().stats().Accesses * Params.L2AccessPj / 1e3;
+  Report.CacheNj += Mem.l3().stats().Accesses * Params.L3AccessPj / 1e3;
+  uint64_t SmemAccesses =
+      Mem.scratchpad().readCount() + Mem.scratchpad().writeCount();
+  Report.CacheNj += SmemAccesses * Params.ScratchpadPj / 1e3;
+
+  // DRAM (both devices when discrete).
+  uint64_t DramLines =
+      Mem.cpuDram().stats().Reads + Mem.cpuDram().stats().Writes;
+  if (&Mem.gpuDram() != &Mem.cpuDram())
+    DramLines += Mem.gpuDram().stats().Reads + Mem.gpuDram().stats().Writes;
+  Report.DramNj += DramLines * Params.DramLinePj / 1e3;
+
+  // Ring traffic.
+  Report.NetworkNj += Mem.ring().stats().TotalHops * Params.RingHopPj / 1e3;
+
+  // Communication fabric, faults, and page walks.
+  double PerByte = PciFabric ? Params.PciPerBytePj : Params.MemCtrlPerBytePj;
+  Report.CommNj += Result.TransferredBytes * PerByte / 1e3;
+  Report.CommNj += double(Result.PageFaults) * Params.PageFaultNj;
+  uint64_t TlbMisses = Mem.tlb(PuKind::Cpu).stats().Misses +
+                       Mem.tlb(PuKind::Gpu).stats().Misses;
+  Report.CommNj += TlbMisses * Params.TlbMissPj / 1e3;
+
+  return Report;
+}

@@ -1,0 +1,27 @@
+//===- gpu/Coalescer.cpp --------------------------------------------------===//
+
+#include "gpu/Coalescer.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace hetsim;
+
+std::vector<Addr> hetsim::coalesceWarpAccess(const TraceRecord &Record) {
+  assert(isGlobalMemoryOp(Record.Op) && "not a global memory op");
+  std::vector<Addr> Lines;
+  Lines.reserve(Record.SimdLanes);
+  for (unsigned Lane = 0; Lane != Record.SimdLanes; ++Lane) {
+    Addr LaneAddr =
+        Record.MemAddr + uint64_t(Lane) * Record.LaneStrideBytes;
+    // A lane access can straddle a line boundary; cover both lines.
+    Addr First = alignDown(LaneAddr, CacheLineBytes);
+    Addr Last = alignDown(LaneAddr + std::max<uint32_t>(Record.MemBytes, 1) - 1,
+                          CacheLineBytes);
+    for (Addr Line = First; Line <= Last; Line += CacheLineBytes)
+      Lines.push_back(Line);
+  }
+  std::sort(Lines.begin(), Lines.end());
+  Lines.erase(std::unique(Lines.begin(), Lines.end()), Lines.end());
+  return Lines;
+}

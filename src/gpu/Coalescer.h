@@ -1,0 +1,26 @@
+//===- gpu/Coalescer.h - SIMD memory coalescing -----------------*- C++ -*-===//
+///
+/// \file
+/// Coalesces a warp memory instruction's per-lane addresses into the set of
+/// distinct cache lines it touches. Unit-stride word accesses coalesce into
+/// one or two line transactions; scattered accesses fan out to one per
+/// lane, which is the main GPU memory-efficiency effect the model needs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HETSIM_GPU_COALESCER_H
+#define HETSIM_GPU_COALESCER_H
+
+#include "trace/TraceRecord.h"
+
+#include <vector>
+
+namespace hetsim {
+
+/// Returns the distinct cache-line base addresses touched by a warp memory
+/// instruction (sorted ascending).
+std::vector<Addr> coalesceWarpAccess(const TraceRecord &Record);
+
+} // namespace hetsim
+
+#endif // HETSIM_GPU_COALESCER_H

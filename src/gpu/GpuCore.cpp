@@ -1,0 +1,134 @@
+//===- gpu/GpuCore.cpp ----------------------------------------------------===//
+
+#include "gpu/GpuCore.h"
+
+#include "common/Error.h"
+#include "gpu/Coalescer.h"
+#include "memory/MemorySystem.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+using namespace hetsim;
+
+GpuCore::GpuCore(const GpuConfig &Config, MemorySystem &Mem)
+    : Config(Config), Mem(Mem) {
+  if (Config.NumWarps == 0 || Config.IssueWidth == 0)
+    fatalError("GPU needs at least one warp context and issue slot");
+}
+
+namespace {
+
+/// In-order execution state of one warp context.
+struct WarpState {
+  std::vector<Cycle> RegReady;
+  Cycle NextIssue;
+  std::vector<Cycle> Pending; // Outstanding memory completions.
+  Cycle LastComplete;
+
+  explicit WarpState(Cycle Start)
+      : RegReady(NumTraceRegs, Start), NextIssue(Start), LastComplete(Start) {}
+
+  void retirePendingBefore(Cycle Now) {
+    Pending.erase(std::remove_if(Pending.begin(), Pending.end(),
+                                 [Now](Cycle C) { return C <= Now; }),
+                  Pending.end());
+  }
+};
+
+} // namespace
+
+SegmentResult GpuCore::run(const TraceBuffer &Trace, Cycle StartCycle) {
+  return run(Trace.records().data(), Trace.size(), StartCycle);
+}
+
+SegmentResult GpuCore::run(const TraceRecord *Records, size_t Count,
+                           Cycle StartCycle) {
+  // Throughput model: the trace is striped across NumWarps contexts in
+  // chunks of WarpChunkRecords (so whole loop iterations stay inside one
+  // register file). Each context executes strictly in order with
+  // scoreboarded operands and stall-on-branch; contexts are independent,
+  // which models a zero-overhead warp scheduler hiding one warp's memory
+  // latency under the others. The segment's cycle count is the slowest
+  // context, floored by the core's issue bandwidth (IssueWidth per cycle).
+  SegmentResult Result;
+  Result.Insts = Count;
+  if (Count == 0)
+    return Result;
+
+  const unsigned W = Config.NumWarps;
+  const unsigned Chunk = std::max(1u, Config.WarpChunkRecords);
+  const unsigned PendingPerWarp =
+      std::max(1u, Config.MaxPendingLoads / W + 1);
+
+  std::vector<WarpState> Warps(W, WarpState(StartCycle));
+  Cycle LastComplete = StartCycle;
+
+  for (size_t I = 0; I != Count; ++I) {
+    const TraceRecord &R = Records[I];
+    WarpState &Warp = Warps[(I / Chunk) % W];
+
+    Cycle IssueCycle = Warp.NextIssue;
+    if (R.SrcRegA != NoReg)
+      IssueCycle = std::max(IssueCycle, Warp.RegReady[R.SrcRegA]);
+    if (R.SrcRegB != NoReg)
+      IssueCycle = std::max(IssueCycle, Warp.RegReady[R.SrcRegB]);
+
+    Cycle Complete = IssueCycle + executeLatency(PuKind::Gpu, R.Op);
+
+    if (isGlobalMemoryOp(R.Op)) {
+      Warp.retirePendingBefore(IssueCycle);
+      if (Warp.Pending.size() >= PendingPerWarp) {
+        Cycle Oldest =
+            *std::min_element(Warp.Pending.begin(), Warp.Pending.end());
+        IssueCycle = std::max(IssueCycle, Oldest);
+        Warp.retirePendingBefore(IssueCycle);
+      }
+      Cycle WarpDone = IssueCycle;
+      for (Addr Line : coalesceWarpAccess(R)) {
+        MemAccessResult MemResult = Mem.access(
+            PuKind::Gpu, Line, CacheLineBytes, isStoreOp(R.Op), IssueCycle);
+        ++Result.MemAccesses;
+        Result.MemLatencySum += MemResult.Latency;
+        if (MemResult.PageFault) {
+          ++Result.PageFaults;
+          Result.PageFaultCycles += MemResult.Latency;
+        }
+        WarpDone = std::max(WarpDone, IssueCycle + MemResult.Latency);
+      }
+      if (!isStoreOp(R.Op)) {
+        Complete = WarpDone;
+        Warp.Pending.push_back(WarpDone);
+      }
+    } else if (R.Op == Opcode::SmemLoad || R.Op == Opcode::SmemStore) {
+      Complete = IssueCycle +
+                 Mem.scratchpadWarpAccess(R.MemAddr, R.MemBytes, R.SimdLanes,
+                                          R.LaneStrideBytes, isStoreOp(R.Op));
+    }
+
+    if (R.DstReg != NoReg)
+      Warp.RegReady[R.DstReg] = Complete;
+
+    Warp.NextIssue = IssueCycle + 1;
+    if (isBranchOp(R.Op)) {
+      // No predictor: this warp's pipeline drains on every branch
+      // (Table II); the other warps keep the core busy. Data-dependent
+      // branches additionally diverge the warp (both paths execute).
+      Cycle Stall = Config.BranchStall;
+      if (R.SrcRegA != NoReg && R.SrcRegA != 0)
+        Stall *= std::max(1u, Config.DivergentBranchFactor);
+      Warp.NextIssue = Complete + Stall;
+      ++Result.BranchMispredicts; // Every branch pays the stall.
+    }
+
+    Warp.LastComplete = std::max(Warp.LastComplete, Complete);
+    LastComplete = std::max(LastComplete, Complete);
+  }
+
+  assert(LastComplete >= StartCycle && "time went backwards");
+  Cycle CriticalPath = LastComplete - StartCycle;
+  Cycle BandwidthFloor = ceilDiv(Count, Config.IssueWidth);
+  Result.Cycles = std::max(CriticalPath, BandwidthFloor);
+  return Result;
+}

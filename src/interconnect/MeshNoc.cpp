@@ -1,0 +1,52 @@
+//===- interconnect/MeshNoc.cpp -------------------------------------------===//
+
+#include "interconnect/MeshNoc.h"
+
+#include "common/Error.h"
+#include "interconnect/RingBus.h" // Baseline stop numbering.
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+
+using namespace hetsim;
+
+MeshNoc::MeshNoc(const MeshConfig &Config) : Config(Config) {
+  if (Config.Width == 0 || Config.Height == 0 ||
+      Config.Width * Config.Height < 2)
+    fatalError("mesh needs at least two nodes");
+  PortFree.resize(numStops(), 0);
+}
+
+unsigned MeshNoc::hopCount(unsigned From, unsigned To) const {
+  assert(From < numStops() && To < numStops() && "mesh stop out of range");
+  unsigned Dx = xOf(From) > xOf(To) ? xOf(From) - xOf(To)
+                                    : xOf(To) - xOf(From);
+  unsigned Dy = yOf(From) > yOf(To) ? yOf(From) - yOf(To)
+                                    : yOf(To) - yOf(From);
+  return Dx + Dy;
+}
+
+Cycle MeshNoc::traverse(unsigned From, unsigned To, Cycle Now) {
+  unsigned Hops = hopCount(From, To);
+  Cycle Start =
+      std::max(Now, std::min(PortFree[From], Now + Config.MaxQueueDelay));
+  Stats.ContentionCycles += Start - Now;
+  PortFree[From] = Start + Config.InjectOccupancy;
+  ++Stats.Messages;
+  Stats.TotalHops += Hops;
+  return Start + Cycle(Hops) * Config.HopLatency;
+}
+
+unsigned MeshNoc::tileStopFor(Addr LineAddress) const {
+  unsigned NumTiles = 4;
+  unsigned Tile =
+      unsigned((LineAddress >> log2Exact(CacheLineBytes)) & (NumTiles - 1));
+  unsigned Stop = ring::L3Tile0 + Tile;
+  return Stop < numStops() ? Stop : numStops() - 1;
+}
+
+void MeshNoc::resetStats() {
+  Stats = NocStats();
+  std::fill(PortFree.begin(), PortFree.end(), 0);
+}

@@ -1,0 +1,53 @@
+//===- interconnect/RingBus.cpp -------------------------------------------===//
+
+#include "interconnect/RingBus.h"
+
+#include "common/Error.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace hetsim;
+
+Interconnect::~Interconnect() = default;
+
+RingBus::RingBus(const RingConfig &Config) : Config(Config) {
+  if (Config.NumStops < 2)
+    fatalError("ring bus needs at least two stops");
+  PortFree.resize(Config.NumStops, 0);
+}
+
+unsigned RingBus::hopCount(unsigned From, unsigned To) const {
+  assert(From < Config.NumStops && To < Config.NumStops &&
+         "ring stop out of range");
+  unsigned Clockwise =
+      To >= From ? To - From : Config.NumStops - (From - To);
+  unsigned Counter = Config.NumStops - Clockwise;
+  return std::min(Clockwise, Counter);
+}
+
+Cycle RingBus::traverse(unsigned From, unsigned To, Cycle Now) {
+  unsigned Hops = hopCount(From, To);
+  Cycle Start =
+      std::max(Now, std::min(PortFree[From], Now + Config.MaxQueueDelay));
+  Stats.ContentionCycles += Start - Now;
+  PortFree[From] = Start + Config.InjectOccupancy;
+  ++Stats.Messages;
+  Stats.TotalHops += Hops;
+  return Start + Cycle(Hops) * Config.HopLatency;
+}
+
+unsigned RingBus::tileStopFor(Addr LineAddress) const {
+  // Four tiles in the baseline; line-interleaved. With fewer stops than
+  // the baseline layout, fall back to the last stop.
+  unsigned NumTiles = 4;
+  unsigned Tile =
+      unsigned((LineAddress >> log2Exact(CacheLineBytes)) & (NumTiles - 1));
+  unsigned Stop = ring::L3Tile0 + Tile;
+  return Stop < Config.NumStops ? Stop : Config.NumStops - 1;
+}
+
+void RingBus::resetStats() {
+  Stats = RingStats();
+  std::fill(PortFree.begin(), PortFree.end(), 0);
+}

@@ -1,0 +1,150 @@
+//===- memory/AddressSpaceModel.h - The four address spaces -----*- C++ -*-===//
+///
+/// \file
+/// The paper's four memory-address-space design options (Section II-A,
+/// Figure 1): unified, disjoint, partially shared, and asymmetric
+/// distributed shared memory (ADSM). An AddressSpaceModel decides where a
+/// kernel's data objects live in each PU's virtual space, which ranges are
+/// shared, and which accesses each PU is allowed to make.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HETSIM_MEMORY_ADDRESSSPACEMODEL_H
+#define HETSIM_MEMORY_ADDRESSSPACEMODEL_H
+
+#include "trace/DataLayout.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace hetsim {
+
+/// The four design options of Figure 1.
+enum class AddressSpaceKind : uint8_t {
+  Unified = 0,
+  Disjoint,
+  PartiallyShared,
+  Adsm,
+};
+
+/// Short display name ("UNI", "DIS", "PAS", "ADSM") used by Figure 7 and
+/// Table V.
+const char *addressSpaceShortName(AddressSpaceKind Kind);
+
+/// Full display name ("unified", "disjoint", ...).
+const char *addressSpaceName(AddressSpaceKind Kind);
+
+/// Virtual-address region bases. Regions are disjoint so a segment's
+/// region is recoverable from any address inside it.
+namespace region {
+inline constexpr Addr CpuPrivateBase = 0x10000000ull;
+inline constexpr Addr GpuPrivateBase = 0x50000000ull;
+inline constexpr Addr SharedBase = 0x90000000ull;
+inline constexpr uint64_t RegionSpan = 0x40000000ull;
+} // namespace region
+
+/// Which region an address belongs to.
+enum class MemRegion : uint8_t { CpuPrivate, GpuPrivate, Shared, Unknown };
+
+/// Classifies \p Address into a region.
+MemRegion regionOf(Addr Address);
+
+/// The placement an address-space model computed for one kernel instance.
+struct Placement {
+  AddressSpaceKind Kind = AddressSpaceKind::Unified;
+
+  /// Addresses the CPU-side compute uses for each data object.
+  KernelDataLayout CpuLayout;
+
+  /// Addresses the GPU-side compute uses. Equal to CpuLayout except under
+  /// the disjoint space, where objects are duplicated into GPU space.
+  KernelDataLayout GpuLayout;
+
+  /// Names of objects living in the shared region (empty for disjoint).
+  std::vector<std::string> SharedObjects;
+
+  /// Bytes duplicated into GPU private space (disjoint only).
+  uint64_t DuplicatedBytes = 0;
+
+  /// Returns true if the named object is in the shared region.
+  bool isShared(const std::string &Name) const;
+};
+
+/// Base class of the four models.
+class AddressSpaceModel {
+public:
+  virtual ~AddressSpaceModel();
+
+  virtual AddressSpaceKind kind() const = 0;
+
+  /// Places an arbitrary list of data objects under this model's rules
+  /// (custom workloads use this directly).
+  virtual Placement
+  placeObjects(const std::vector<DataObjectSpec> &Objects) const = 0;
+
+  /// Places \p Kernel's Table III data objects.
+  Placement place(KernelId Kernel) const {
+    return placeObjects(kernelDataObjects(Kernel));
+  }
+
+  /// True if \p Pu may access \p Address at all under this model. Under
+  /// ADSM the GPU may only touch its private space and the shared space;
+  /// under disjoint each PU sees only its own space (Section II-A).
+  virtual bool canAccess(PuKind Pu, Addr Address) const;
+
+  /// True if this model requires explicit transfer commands to move data
+  /// between the PUs (disjoint), as opposed to shared-space visibility.
+  virtual bool needsExplicitTransfer() const;
+
+  /// True if the model supports the ownership optimization (partially
+  /// shared and ADSM, Section II-A3/II-A4).
+  virtual bool supportsOwnership() const;
+
+  /// Returns the model for \p Kind (static lifetime).
+  static const AddressSpaceModel &forKind(AddressSpaceKind Kind);
+};
+
+/// Section II-A1: no separation between CPU and GPU address space.
+class UnifiedAddressSpace final : public AddressSpaceModel {
+public:
+  AddressSpaceKind kind() const override { return AddressSpaceKind::Unified; }
+  Placement
+  placeObjects(const std::vector<DataObjectSpec> &Objects) const override;
+};
+
+/// Section II-A2: fully separate spaces; explicit communication required.
+class DisjointAddressSpace final : public AddressSpaceModel {
+public:
+  AddressSpaceKind kind() const override { return AddressSpaceKind::Disjoint; }
+  Placement
+  placeObjects(const std::vector<DataObjectSpec> &Objects) const override;
+  bool canAccess(PuKind Pu, Addr Address) const override;
+  bool needsExplicitTransfer() const override { return true; }
+};
+
+/// Section II-A3: a subset of the space is shared; ownership optional.
+class PartiallySharedAddressSpace final : public AddressSpaceModel {
+public:
+  AddressSpaceKind kind() const override {
+    return AddressSpaceKind::PartiallyShared;
+  }
+  Placement
+  placeObjects(const std::vector<DataObjectSpec> &Objects) const override;
+  bool supportsOwnership() const override { return true; }
+};
+
+/// Section II-A4: the CPU sees everything; the GPU sees only its own and
+/// the shared (GPU-resident) space.
+class AdsmAddressSpace final : public AddressSpaceModel {
+public:
+  AddressSpaceKind kind() const override { return AddressSpaceKind::Adsm; }
+  Placement
+  placeObjects(const std::vector<DataObjectSpec> &Objects) const override;
+  bool canAccess(PuKind Pu, Addr Address) const override;
+  bool supportsOwnership() const override { return true; }
+};
+
+} // namespace hetsim
+
+#endif // HETSIM_MEMORY_ADDRESSSPACEMODEL_H

@@ -1,0 +1,161 @@
+//===- memory/ConsistencyChecker.cpp --------------------------------------===//
+
+#include "memory/ConsistencyChecker.h"
+
+#include "common/Error.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace hetsim;
+
+const char *hetsim::consistencyModelName(ConsistencyModel Model) {
+  switch (Model) {
+  case ConsistencyModel::Weak:
+    return "weak consistency";
+  case ConsistencyModel::CentralizedRelease:
+    return "centralized release consistency";
+  case ConsistencyModel::Strong:
+    return "strong consistency";
+  }
+  hetsim_unreachable("invalid consistency model");
+}
+
+namespace {
+
+/// A two-entry vector clock: how many events of each PU are known to
+/// happen before this point.
+struct VectorClock {
+  uint64_t Seq[NumPuKinds] = {0, 0};
+
+  void join(const VectorClock &Other) {
+    for (unsigned I = 0; I != NumPuKinds; ++I)
+      Seq[I] = std::max(Seq[I], Other.Seq[I]);
+  }
+
+  /// True if an event with per-PU sequence number \p EventSeq on \p Pu is
+  /// covered by this clock.
+  bool covers(PuKind Pu, uint64_t EventSeq) const {
+    return Seq[puIndex(Pu)] >= EventSeq;
+  }
+};
+
+bool isAccess(SyncEventKind Kind) {
+  return Kind == SyncEventKind::Read || Kind == SyncEventKind::Write;
+}
+
+} // namespace
+
+std::vector<ConsistencyViolation> ConsistencyChecker::check() const {
+  std::vector<ConsistencyViolation> Violations;
+  if (Model == ConsistencyModel::Strong)
+    return Violations; // Every access is globally ordered: no undefined
+                       // outcomes to report.
+
+  // Pass 1: assign each event a vector clock under the model's
+  // synchronization edges (program order + release->acquire per object +
+  // kernel launch/return + barriers).
+  const size_t N = History.size();
+  std::vector<VectorClock> Clocks(N);
+  std::vector<uint64_t> SeqOf(N, 0);
+
+  VectorClock Current[NumPuKinds];
+  uint64_t NextSeq[NumPuKinds] = {0, 0};
+  std::map<std::string, VectorClock> LastRelease;
+  VectorClock LaunchClock;   // Latest CPU->GPU control transfer.
+  VectorClock ReturnClock;   // Latest GPU->CPU control transfer.
+  VectorClock BarrierClock;  // Latest global barrier.
+  bool SawLaunch = false, SawReturn = false, SawBarrier = false;
+
+  for (size_t I = 0; I != N; ++I) {
+    const SyncEvent &E = History[I];
+    unsigned P = puIndex(E.Pu);
+    VectorClock C = Current[P];
+
+    // Incoming edges.
+    if (E.Kind == SyncEventKind::Acquire) {
+      auto It = LastRelease.find(E.Object);
+      if (It != LastRelease.end())
+        C.join(It->second);
+    }
+    if (E.Pu == PuKind::Gpu && SawLaunch)
+      C.join(LaunchClock);
+    if (E.Pu == PuKind::Cpu && SawReturn)
+      C.join(ReturnClock);
+    if (SawBarrier)
+      C.join(BarrierClock);
+
+    // This event's position.
+    uint64_t Seq = ++NextSeq[P];
+    C.Seq[P] = Seq;
+    Clocks[I] = C;
+    SeqOf[I] = Seq;
+    Current[P] = C;
+
+    // Outgoing edges.
+    switch (E.Kind) {
+    case SyncEventKind::Release:
+      LastRelease[E.Object] = C;
+      break;
+    case SyncEventKind::KernelLaunch:
+      LaunchClock = C;
+      SawLaunch = true;
+      break;
+    case SyncEventKind::KernelReturn:
+      ReturnClock = C;
+      SawReturn = true;
+      break;
+    case SyncEventKind::Barrier: {
+      // A barrier synchronizes both sides: it publishes everything both
+      // PUs have done so far.
+      VectorClock Joined = Current[0];
+      Joined.join(Current[1]);
+      BarrierClock = Joined;
+      SawBarrier = true;
+      Current[0].join(Joined);
+      Current[1].join(Joined);
+      break;
+    }
+    default:
+      break;
+    }
+  }
+
+  // Pass 2: report conflicting cross-PU access pairs with no
+  // happens-before edge.
+  std::map<std::string, std::vector<size_t>> AccessesByObject;
+  for (size_t I = 0; I != N; ++I)
+    if (isAccess(History[I].Kind))
+      AccessesByObject[History[I].Object].push_back(I);
+
+  for (const auto &KV : AccessesByObject) {
+    const std::vector<size_t> &Accesses = KV.second;
+    for (size_t A = 0; A != Accesses.size(); ++A) {
+      for (size_t B = A + 1; B != Accesses.size(); ++B) {
+        size_t I = Accesses[A], J = Accesses[B];
+        const SyncEvent &First = History[I];
+        const SyncEvent &Second = History[J];
+        if (First.Pu == Second.Pu)
+          continue; // Program order.
+        if (First.Kind != SyncEventKind::Write &&
+            Second.Kind != SyncEventKind::Write)
+          continue; // Read-read never conflicts.
+        if (Clocks[J].covers(First.Pu, SeqOf[I]))
+          continue; // Ordered.
+        ConsistencyViolation V;
+        V.EarlierIndex = I;
+        V.LaterIndex = J;
+        V.Object = KV.first;
+        V.Description = std::string(puKindName(First.Pu)) +
+                        (First.Kind == SyncEventKind::Write ? " write"
+                                                            : " read") +
+                        " races with " + puKindName(Second.Pu) +
+                        (Second.Kind == SyncEventKind::Write ? " write"
+                                                             : " read") +
+                        " of '" + KV.first + "'";
+        Violations.push_back(std::move(V));
+      }
+    }
+  }
+  return Violations;
+}

@@ -1,0 +1,37 @@
+//===- memory/FirstTouchTracker.cpp ---------------------------------------===//
+
+#include "memory/FirstTouchTracker.h"
+
+using namespace hetsim;
+
+bool FirstTouchTracker::touch(Addr Address) {
+  if (!inRange(Address))
+    return false;
+  uint64_t Page = (Address - Base) / PageBytes;
+  if (Touched.insert(Page).second) {
+    ++Faults;
+    return true;
+  }
+  return false;
+}
+
+bool FirstTouchTracker::wasTouched(Addr Address) const {
+  if (!inRange(Address))
+    return false;
+  return Touched.count((Address - Base) / PageBytes) != 0;
+}
+
+void FirstTouchTracker::preTouch(Addr RangeBase, uint64_t RangeBytes) {
+  if (RangeBytes == 0)
+    return;
+  Addr End = RangeBase + RangeBytes - 1;
+  for (Addr A = RangeBase; A <= End; A += PageBytes) {
+    if (inRange(A))
+      Touched.insert((A - Base) / PageBytes);
+  }
+}
+
+void FirstTouchTracker::reset() {
+  Touched.clear();
+  Faults = 0;
+}

@@ -1,0 +1,62 @@
+//===- memory/FirstTouchTracker.h - First-touch page faults -----*- C++ -*-===//
+///
+/// \file
+/// Tracks first-time accesses to pages of the shared space. The LRB-style
+/// partially shared space "generates page faults if data in the shared
+/// space is first-time accessed" (Section V-A); each fault costs lib-pf
+/// cycles (Table IV: 42000).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HETSIM_MEMORY_FIRSTTOUCHTRACKER_H
+#define HETSIM_MEMORY_FIRSTTOUCHTRACKER_H
+
+#include "common/Types.h"
+
+#include <unordered_set>
+
+namespace hetsim {
+
+/// Per-page first-touch tracking over an address range.
+class FirstTouchTracker {
+public:
+  FirstTouchTracker(Addr Base, uint64_t Bytes, uint64_t PageBytes)
+      : Base(Base), Bytes(Bytes), PageBytes(PageBytes) {}
+
+  /// Records an access to \p Address; returns true exactly once per page
+  /// (the first touch, i.e. a page fault).
+  bool touch(Addr Address);
+
+  /// True if \p Address's page was already touched.
+  bool wasTouched(Addr Address) const;
+
+  /// Marks the pages of [RangeBase, RangeBase+RangeBytes) as touched (e.g.
+  /// a bulk transfer pre-faulted them).
+  void preTouch(Addr RangeBase, uint64_t RangeBytes);
+
+  /// Number of pages a range spans (for estimating batch fault costs).
+  uint64_t pagesIn(uint64_t RangeBytes) const {
+    return ceilDiv(RangeBytes, PageBytes);
+  }
+
+  uint64_t faultCount() const { return Faults; }
+  uint64_t pageBytes() const { return PageBytes; }
+
+  /// Forgets all touches (a fresh run).
+  void reset();
+
+private:
+  bool inRange(Addr Address) const {
+    return Address >= Base && Address < Base + Bytes;
+  }
+
+  Addr Base;
+  uint64_t Bytes;
+  uint64_t PageBytes;
+  std::unordered_set<uint64_t> Touched;
+  uint64_t Faults = 0;
+};
+
+} // namespace hetsim
+
+#endif // HETSIM_MEMORY_FIRSTTOUCHTRACKER_H

@@ -1,0 +1,51 @@
+//===- memory/HybridCoherence.cpp -----------------------------------------===//
+
+#include "memory/HybridCoherence.h"
+
+#include "common/Error.h"
+
+using namespace hetsim;
+
+const char *hetsim::coherenceDomainName(CoherenceDomain Domain) {
+  switch (Domain) {
+  case CoherenceDomain::Hardware:
+    return "hardware";
+  case CoherenceDomain::Software:
+    return "software";
+  }
+  hetsim_unreachable("invalid coherence domain");
+}
+
+void HybridCoherenceMap::assign(Addr Base, uint64_t Bytes,
+                                CoherenceDomain Domain) {
+  if (Bytes == 0)
+    return;
+  Assignments.push_back({Base, Bytes, Domain});
+}
+
+CoherenceDomain HybridCoherenceMap::domainOf(Addr Address) const {
+  // Later assignments override earlier ones: scan backwards.
+  for (auto It = Assignments.rbegin(); It != Assignments.rend(); ++It)
+    if (Address >= It->Base && Address < It->Base + It->Bytes)
+      return It->Domain;
+  return Default;
+}
+
+bool HybridCoherenceMap::consult(Addr Address) {
+  if (domainOf(Address) == CoherenceDomain::Hardware) {
+    ++Stats.HardwareLookups;
+    return true;
+  }
+  ++Stats.SoftwareLookups;
+  return false;
+}
+
+Cycle HybridCoherenceMap::transition(Addr Base, uint64_t Bytes,
+                                     CoherenceDomain To,
+                                     Cycle CyclesPerLine) {
+  assign(Base, Bytes, To);
+  uint64_t Lines = ceilDiv(Bytes, CacheLineBytes);
+  ++Stats.Transitions;
+  Stats.LinesTransitioned += Lines;
+  return Lines * CyclesPerLine;
+}

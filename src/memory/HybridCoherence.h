@@ -1,0 +1,84 @@
+//===- memory/HybridCoherence.h - Per-region coherence domains --*- C++ -*-===//
+///
+/// \file
+/// A Cohesion-style hybrid memory model (Kelm et al., discussed in the
+/// paper's Section VI-B): each address region is assigned to either the
+/// hardware coherence domain (the MESI directory tracks its lines) or the
+/// software domain (a runtime/programmer keeps it coherent; the directory
+/// ignores it). Regions can migrate between domains at run time; a
+/// transition costs per-line bookkeeping plus writebacks of dirty lines
+/// leaving the hardware domain.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HETSIM_MEMORY_HYBRIDCOHERENCE_H
+#define HETSIM_MEMORY_HYBRIDCOHERENCE_H
+
+#include "common/Types.h"
+
+#include <string>
+#include <vector>
+
+namespace hetsim {
+
+/// Which machinery keeps a region coherent.
+enum class CoherenceDomain : uint8_t {
+  Hardware, ///< MESI directory tracks the region's lines.
+  Software, ///< Runtime flush/invalidate discipline; directory ignores it.
+};
+
+const char *coherenceDomainName(CoherenceDomain Domain);
+
+/// Statistics of domain activity.
+struct HybridCoherenceStats {
+  uint64_t Transitions = 0;
+  uint64_t LinesTransitioned = 0;
+  uint64_t HardwareLookups = 0;
+  uint64_t SoftwareLookups = 0;
+};
+
+/// The per-region domain map.
+class HybridCoherenceMap {
+public:
+  /// Regions not covered by any assignment default to \p Default.
+  explicit HybridCoherenceMap(
+      CoherenceDomain Default = CoherenceDomain::Hardware)
+      : Default(Default) {}
+
+  /// Assigns [Base, Base+Bytes) to \p Domain (overrides earlier
+  /// assignments for addresses it covers).
+  void assign(Addr Base, uint64_t Bytes, CoherenceDomain Domain);
+
+  /// Domain of \p Address (the most recent covering assignment).
+  CoherenceDomain domainOf(Addr Address) const;
+
+  /// Counts a coherence consultation for \p Address and returns true if
+  /// the hardware directory should handle it.
+  bool consult(Addr Address);
+
+  /// Migrates [Base, Base+Bytes) to \p To. Returns the transition cost
+  /// in cycles: per-line bookkeeping (tag updates / lazy table walks,
+  /// Cohesion's per-line transition work) — callers add writeback costs
+  /// for dirty lines separately.
+  Cycle transition(Addr Base, uint64_t Bytes, CoherenceDomain To,
+                   Cycle CyclesPerLine = 4);
+
+  const HybridCoherenceStats &stats() const { return Stats; }
+
+  size_t assignmentCount() const { return Assignments.size(); }
+
+private:
+  struct Assignment {
+    Addr Base;
+    uint64_t Bytes;
+    CoherenceDomain Domain;
+  };
+
+  CoherenceDomain Default;
+  std::vector<Assignment> Assignments; // Later entries override earlier.
+  HybridCoherenceStats Stats;
+};
+
+} // namespace hetsim
+
+#endif // HETSIM_MEMORY_HYBRIDCOHERENCE_H

@@ -1,0 +1,97 @@
+//===- memory/Ownership.cpp -----------------------------------------------===//
+
+#include "memory/Ownership.h"
+
+#include "common/Error.h"
+#include "common/Log.h"
+
+using namespace hetsim;
+
+OwnershipRegistry::Object *OwnershipRegistry::find(const std::string &Name) {
+  for (Object &O : Objects)
+    if (O.Name == Name)
+      return &O;
+  return nullptr;
+}
+
+const OwnershipRegistry::Object *
+OwnershipRegistry::find(const std::string &Name) const {
+  return const_cast<OwnershipRegistry *>(this)->find(Name);
+}
+
+const OwnershipRegistry::Object *
+OwnershipRegistry::findByAddr(Addr Address) const {
+  for (const Object &O : Objects)
+    if (Address >= O.Base && Address < O.Base + O.Bytes)
+      return &O;
+  return nullptr;
+}
+
+void OwnershipRegistry::registerObject(const std::string &Name, Addr Base,
+                                       uint64_t Bytes, PuKind InitialOwner) {
+  if (find(Name))
+    fatalError(("ownership object registered twice: " + Name).c_str());
+  Objects.push_back({Name, Base, Bytes, InitialOwner});
+}
+
+void OwnershipRegistry::release(const std::string &Name, PuKind Releaser) {
+  Object *O = find(Name);
+  if (!O)
+    fatalError(("release of unknown object: " + Name).c_str());
+  if (O->Owner && *O->Owner != Releaser) {
+    // Releasing an object you do not own is a programming-model violation.
+    ++Violations;
+    HETSIM_WARN("PU %s released '%s' owned by the other PU",
+                puKindName(Releaser), Name.c_str());
+  }
+  O->Owner.reset();
+  ++Transitions;
+}
+
+void OwnershipRegistry::acquire(const std::string &Name, PuKind NewOwner) {
+  Object *O = find(Name);
+  if (!O)
+    fatalError(("acquire of unknown object: " + Name).c_str());
+  if (O->Owner && *O->Owner != NewOwner) {
+    // Acquiring without an intervening release breaks the single-writer
+    // guarantee that lets the shared space skip coherence.
+    ++Violations;
+    HETSIM_WARN("PU %s acquired '%s' still owned by the other PU",
+                puKindName(NewOwner), Name.c_str());
+  }
+  O->Owner = NewOwner;
+  ++Transitions;
+}
+
+std::optional<PuKind> OwnershipRegistry::ownerOf(Addr Address) const {
+  const Object *O = findByAddr(Address);
+  return O ? O->Owner : std::nullopt;
+}
+
+bool OwnershipRegistry::checkAccess(PuKind Pu, Addr Address) {
+  const Object *O = findByAddr(Address);
+  if (!O)
+    return true; // Not a registered shared object.
+  if (O->Owner && *O->Owner == Pu)
+    return true;
+  ++Violations;
+  return false;
+}
+
+bool OwnershipRegistry::hasObject(const std::string &Name) const {
+  return find(Name) != nullptr;
+}
+
+std::optional<PuKind>
+OwnershipRegistry::ownerOfObject(const std::string &Name) const {
+  const Object *O = find(Name);
+  if (!O)
+    fatalError(("ownerOfObject: unknown object " + Name).c_str());
+  return O->Owner;
+}
+
+void OwnershipRegistry::clear() {
+  Objects.clear();
+  Violations = 0;
+  Transitions = 0;
+}

@@ -1,0 +1,80 @@
+//===- memory/Ownership.h - Shared-space ownership control ------*- C++ -*-===//
+///
+/// \file
+/// Ownership control for the partially shared space (Section II-A3, the
+/// LRB programming model): each shared object has at most one owner PU, so
+/// the shared space needs no coherence. Programmers/compilers insert
+/// acquire and release commands; accesses by a non-owner are violations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HETSIM_MEMORY_OWNERSHIP_H
+#define HETSIM_MEMORY_OWNERSHIP_H
+
+#include "common/Types.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hetsim {
+
+/// Per-object ownership state and access checking.
+class OwnershipRegistry {
+public:
+  /// Registers a shared object covering [Base, Base+Bytes). Initial owner
+  /// is the CPU (initial data is loaded by the CPU, Section IV-B).
+  void registerObject(const std::string &Name, Addr Base, uint64_t Bytes,
+                      PuKind InitialOwner = PuKind::Cpu);
+
+  /// Releases ownership of \p Name (no owner until acquired). Models
+  /// releaseOwnership() in Figure 2(b).
+  void release(const std::string &Name, PuKind Releaser);
+
+  /// Acquires ownership of \p Name for \p NewOwner. Models
+  /// acquireOwnership().
+  void acquire(const std::string &Name, PuKind NewOwner);
+
+  /// Returns the current owner of the object containing \p Address, or
+  /// nullopt if unowned / not a registered object.
+  std::optional<PuKind> ownerOf(Addr Address) const;
+
+  /// Checks an access: returns true if OK. Accesses to a shared object by
+  /// a PU that does not own it are counted as violations (and the paper's
+  /// model forbids concurrent updates by both PUs).
+  bool checkAccess(PuKind Pu, Addr Address);
+
+  /// Number of ownership violations observed.
+  uint64_t violationCount() const { return Violations; }
+
+  /// Number of acquire/release operations performed.
+  uint64_t transitionCount() const { return Transitions; }
+
+  /// True if \p Name is registered.
+  bool hasObject(const std::string &Name) const;
+
+  /// Owner of \p Name; aborts if unknown.
+  std::optional<PuKind> ownerOfObject(const std::string &Name) const;
+
+  void clear();
+
+private:
+  struct Object {
+    std::string Name;
+    Addr Base;
+    uint64_t Bytes;
+    std::optional<PuKind> Owner;
+  };
+
+  Object *find(const std::string &Name);
+  const Object *find(const std::string &Name) const;
+  const Object *findByAddr(Addr Address) const;
+
+  std::vector<Object> Objects;
+  uint64_t Violations = 0;
+  uint64_t Transitions = 0;
+};
+
+} // namespace hetsim
+
+#endif // HETSIM_MEMORY_OWNERSHIP_H

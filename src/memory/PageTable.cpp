@@ -1,0 +1,56 @@
+//===- memory/PageTable.cpp -----------------------------------------------===//
+
+#include "memory/PageTable.h"
+
+#include "common/Error.h"
+
+#include <cassert>
+
+using namespace hetsim;
+
+Addr PhysicalMemory::allocate(uint64_t Bytes, uint64_t Align) {
+  assert(isPowerOf2(Align) && "alignment must be a power of two");
+  uint64_t Base = alignUp(Cursor, Align);
+  if (Base + Bytes > SizeBytes)
+    fatalError(("physical memory exhausted: " + Name).c_str());
+  Cursor = Base + Bytes;
+  return Base;
+}
+
+PageTable::PageTable(PuKind Owner, uint64_t PageBytes)
+    : Owner(Owner), PageBytes(PageBytes) {
+  if (!isPowerOf2(PageBytes) || PageBytes < 512)
+    fatalError("invalid page size");
+}
+
+void PageTable::mapRange(Addr VBase, uint64_t Bytes, PhysicalMemory &Device) {
+  if (Bytes == 0)
+    return;
+  uint64_t FirstVpn = vpnOf(VBase);
+  uint64_t LastVpn = vpnOf(VBase + Bytes - 1);
+  for (uint64_t Vpn = FirstVpn; Vpn <= LastVpn; ++Vpn) {
+    if (Map.count(Vpn))
+      continue;
+    Map[Vpn] = Device.allocate(PageBytes, PageBytes);
+  }
+}
+
+std::optional<Addr> PageTable::translate(Addr VAddr) const {
+  auto It = Map.find(vpnOf(VAddr));
+  if (It == Map.end())
+    return std::nullopt;
+  return It->second + (VAddr & (PageBytes - 1));
+}
+
+bool PageTable::isMapped(Addr VAddr) const {
+  return Map.count(vpnOf(VAddr)) != 0;
+}
+
+void PageTable::unmapRange(Addr VBase, uint64_t Bytes) {
+  if (Bytes == 0)
+    return;
+  uint64_t FirstVpn = vpnOf(VBase);
+  uint64_t LastVpn = vpnOf(VBase + Bytes - 1);
+  for (uint64_t Vpn = FirstVpn; Vpn <= LastVpn; ++Vpn)
+    Map.erase(Vpn);
+}

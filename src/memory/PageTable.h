@@ -1,0 +1,80 @@
+//===- memory/PageTable.h - Per-PU page tables ------------------*- C++ -*-===//
+///
+/// \file
+/// Per-PU page tables. Section II-A1: a virtually unified address space
+/// maps one virtual address to different physical addresses on each PU, and
+/// each PU may use its own page size (GPUs use large pages for stream
+/// locality) and its own table format. Partially shared spaces must keep
+/// mappings in both tables (Section II-A3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HETSIM_MEMORY_PAGETABLE_H
+#define HETSIM_MEMORY_PAGETABLE_H
+
+#include "common/Types.h"
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace hetsim {
+
+/// A bump allocator over one physical memory device (CPU DRAM, GPU DRAM,
+/// or a single unified DRAM).
+class PhysicalMemory {
+public:
+  PhysicalMemory(std::string Name, uint64_t SizeBytes)
+      : Name(std::move(Name)), SizeBytes(SizeBytes) {}
+
+  /// Allocates \p Bytes aligned to \p Align; aborts when exhausted (the
+  /// simulator sizes devices generously; exhaustion is a setup bug).
+  Addr allocate(uint64_t Bytes, uint64_t Align);
+
+  uint64_t allocatedBytes() const { return Cursor; }
+  uint64_t sizeBytes() const { return SizeBytes; }
+  const std::string &name() const { return Name; }
+
+private:
+  std::string Name;
+  uint64_t SizeBytes;
+  uint64_t Cursor = 0;
+};
+
+/// One PU's page table: VPN -> PPN at a fixed page size.
+class PageTable {
+public:
+  /// \p PageBytes must be a power of two (4KB CPU, 64KB GPU by default).
+  PageTable(PuKind Owner, uint64_t PageBytes);
+
+  PuKind owner() const { return Owner; }
+  uint64_t pageBytes() const { return PageBytes; }
+
+  /// Maps the virtual range [VBase, VBase+Bytes) to physical pages
+  /// allocated from \p Device. Ranges are rounded out to page boundaries;
+  /// already-mapped pages are left untouched.
+  void mapRange(Addr VBase, uint64_t Bytes, PhysicalMemory &Device);
+
+  /// Translates \p VAddr; std::nullopt means a (hard) page-table miss.
+  std::optional<Addr> translate(Addr VAddr) const;
+
+  /// True if the page containing \p VAddr is mapped.
+  bool isMapped(Addr VAddr) const;
+
+  /// Removes mappings overlapping [VBase, VBase+Bytes).
+  void unmapRange(Addr VBase, uint64_t Bytes);
+
+  /// Number of mapped pages.
+  size_t mappedPages() const { return Map.size(); }
+
+private:
+  uint64_t vpnOf(Addr VAddr) const { return VAddr / PageBytes; }
+
+  PuKind Owner;
+  uint64_t PageBytes;
+  std::unordered_map<uint64_t, Addr> Map; // VPN -> physical page base.
+};
+
+} // namespace hetsim
+
+#endif // HETSIM_MEMORY_PAGETABLE_H

@@ -1,0 +1,54 @@
+//===- memory/Tlb.cpp -----------------------------------------------------===//
+
+#include "memory/Tlb.h"
+
+#include "common/Error.h"
+
+using namespace hetsim;
+
+Tlb::Tlb(unsigned NumEntries, unsigned Ways, uint64_t PageBytes)
+    : Ways(Ways), PageBytes(PageBytes) {
+  if (Ways == 0 || NumEntries % Ways != 0 || !isPowerOf2(NumEntries / Ways) ||
+      !isPowerOf2(PageBytes))
+    fatalError("invalid TLB geometry");
+  NumSets = NumEntries / Ways;
+  Entries.resize(NumEntries);
+}
+
+bool Tlb::lookup(Addr VAddr) {
+  ++Stats.Lookups;
+  uint64_t Vpn = VAddr / PageBytes;
+  unsigned SetBase = unsigned(Vpn & (NumSets - 1)) * Ways;
+
+  for (unsigned W = 0; W != Ways; ++W) {
+    Entry &E = Entries[SetBase + W];
+    if (E.Valid && E.Vpn == Vpn) {
+      ++Stats.Hits;
+      E.Stamp = NextStamp++;
+      return true;
+    }
+  }
+
+  ++Stats.Misses;
+  // Fill the LRU (or first invalid) way.
+  unsigned Victim = 0;
+  for (unsigned W = 0; W != Ways; ++W) {
+    Entry &E = Entries[SetBase + W];
+    if (!E.Valid) {
+      Victim = W;
+      break;
+    }
+    if (E.Stamp < Entries[SetBase + Victim].Stamp)
+      Victim = W;
+  }
+  Entry &E = Entries[SetBase + Victim];
+  E.Valid = true;
+  E.Vpn = Vpn;
+  E.Stamp = NextStamp++;
+  return false;
+}
+
+void Tlb::flush() {
+  for (Entry &E : Entries)
+    E.Valid = false;
+}

@@ -1,0 +1,73 @@
+//===- trace/DataLayout.h - Placed kernel data objects ----------*- C++ -*-===//
+///
+/// \file
+/// A KernelDataLayout assigns virtual base addresses to a kernel's data
+/// objects. The address-space models (src/memory) decide placement (private
+/// vs. shared region); trace generators then produce loads and stores whose
+/// addresses fall inside the placed objects.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HETSIM_TRACE_DATALAYOUT_H
+#define HETSIM_TRACE_DATALAYOUT_H
+
+#include "trace/Kernel.h"
+
+#include <string>
+#include <vector>
+
+namespace hetsim {
+
+/// One placed data object.
+struct DataSegment {
+  std::string Name;
+  Addr Base = 0;
+  uint64_t Bytes = 0;
+  TransferDir Dir = TransferDir::HostToDevice;
+
+  /// Returns true if \p Address falls inside this segment.
+  bool contains(Addr Address) const {
+    return Address >= Base && Address < Base + Bytes;
+  }
+};
+
+/// The set of placed data objects for one kernel instance.
+class KernelDataLayout {
+public:
+  KernelDataLayout() = default;
+
+  /// Adds a segment; names must be unique.
+  void addSegment(DataSegment Segment);
+
+  /// Finds a segment by name; aborts if absent (placement bugs should fail
+  /// loudly, not silently generate wild addresses).
+  const DataSegment &segment(const std::string &Name) const;
+
+  /// Returns true if a segment named \p Name exists.
+  bool hasSegment(const std::string &Name) const;
+
+  /// Returns the segment containing \p Address, or nullptr.
+  const DataSegment *segmentContaining(Addr Address) const;
+
+  const std::vector<DataSegment> &segments() const { return Segments; }
+
+  /// Sum of all segment sizes.
+  uint64_t totalBytes() const;
+
+  /// Places all of \p Kernel's data objects back to back starting at
+  /// \p Base, aligning each to \p Align. This is the default layout used
+  /// when no address-space model dictates placement.
+  static KernelDataLayout makeLinear(KernelId Kernel, Addr Base,
+                                     uint64_t Align = 4096);
+
+  /// Same, for an arbitrary object list (custom workloads).
+  static KernelDataLayout makeLinear(const std::vector<DataObjectSpec> &Objects,
+                                     Addr Base, uint64_t Align = 4096);
+
+private:
+  std::vector<DataSegment> Segments;
+};
+
+} // namespace hetsim
+
+#endif // HETSIM_TRACE_DATALAYOUT_H

@@ -1,0 +1,107 @@
+//===- trace/Kernel.cpp ---------------------------------------------------===//
+
+#include "trace/Kernel.h"
+
+#include "common/Error.h"
+
+#include <cstring>
+
+using namespace hetsim;
+
+namespace {
+
+// Table III, verbatim. GpuRounds is derived from the compute pattern:
+// convolution performs two parallel rounds separated by a merge, and k-mean
+// repeats its round three times (3 rounds x 2 transfers = 6 communications).
+const KernelCharacteristics Characteristics[NumKernels] = {
+    {KernelId::Reduction, "reduction", "parallel->merge->sequential", 70006,
+     70001, 99996, 2, 320512, 1, 142},
+    {KernelId::MatrixMul, "matrix mul", "fully parallel", 8585229, 8585228,
+     16384, 2, 524288, 1, 39},
+    {KernelId::Convolution, "convolution", "parallel->merge->parallel",
+     448260, 448259, 65536, 3, 65536, 2, 75},
+    {KernelId::Dct, "dct", "fully parallel", 2359298, 2359298, 262144, 2,
+     262244, 1, 410},
+    {KernelId::MergeSort, "merge sort", "parallel->merge->sequential",
+     161233, 157233, 97668, 2, 39936, 1, 112},
+    {KernelId::KMeans, "k-mean", "parallel->merge->sequential (repeated)",
+     1847765, 1844981, 36784, 6, 136192, 3, 332},
+};
+
+// Shared data objects. HostToDevice sizes sum to InitialTransferBytes.
+const std::vector<DataObjectSpec> ReductionObjects = {
+    {"a", 160256, TransferDir::HostToDevice},
+    {"b", 160256, TransferDir::HostToDevice},
+    {"c", 160256, TransferDir::DeviceToHost},
+};
+const std::vector<DataObjectSpec> MatrixMulObjects = {
+    {"A", 262144, TransferDir::HostToDevice},
+    {"B", 262144, TransferDir::HostToDevice},
+    {"C", 262144, TransferDir::DeviceToHost},
+};
+const std::vector<DataObjectSpec> ConvolutionObjects = {
+    {"image", 61440, TransferDir::HostToDevice},
+    {"filter", 4096, TransferDir::HostToDevice},
+    {"out", 61440, TransferDir::DeviceToHost},
+};
+const std::vector<DataObjectSpec> DctObjects = {
+    {"blocks", 262244, TransferDir::HostToDevice},
+    {"coeffs", 262144, TransferDir::DeviceToHost},
+};
+const std::vector<DataObjectSpec> MergeSortObjects = {
+    {"keys", 39936, TransferDir::HostToDevice},
+    {"sorted", 39936, TransferDir::DeviceToHost},
+};
+const std::vector<DataObjectSpec> KMeansObjects = {
+    {"points", 136192, TransferDir::HostToDevice},
+    {"centroids", 5120, TransferDir::DeviceToHost},
+};
+
+} // namespace
+
+const std::vector<KernelId> &hetsim::allKernels() {
+  static const std::vector<KernelId> Ids = {
+      KernelId::Reduction, KernelId::MatrixMul, KernelId::Convolution,
+      KernelId::Dct,       KernelId::MergeSort, KernelId::KMeans,
+  };
+  return Ids;
+}
+
+const KernelCharacteristics &hetsim::kernelCharacteristics(KernelId Id) {
+  unsigned Index = static_cast<unsigned>(Id);
+  if (Index >= NumKernels)
+    fatalError("kernelCharacteristics: invalid kernel id");
+  return Characteristics[Index];
+}
+
+const std::vector<DataObjectSpec> &hetsim::kernelDataObjects(KernelId Id) {
+  switch (Id) {
+  case KernelId::Reduction:
+    return ReductionObjects;
+  case KernelId::MatrixMul:
+    return MatrixMulObjects;
+  case KernelId::Convolution:
+    return ConvolutionObjects;
+  case KernelId::Dct:
+    return DctObjects;
+  case KernelId::MergeSort:
+    return MergeSortObjects;
+  case KernelId::KMeans:
+    return KMeansObjects;
+  }
+  hetsim_unreachable("invalid kernel id");
+}
+
+const char *hetsim::kernelName(KernelId Id) {
+  return kernelCharacteristics(Id).Name;
+}
+
+bool hetsim::kernelByName(const char *Name, KernelId &Out) {
+  for (KernelId Id : allKernels()) {
+    if (std::strcmp(Name, kernelName(Id)) == 0) {
+      Out = Id;
+      return true;
+    }
+  }
+  return false;
+}

@@ -1,0 +1,80 @@
+//===- trace/Kernel.h - The six evaluated kernels ---------------*- C++ -*-===//
+///
+/// \file
+/// Identifiers, Table III characteristics, and shared-data-object structure
+/// for the six kernels the paper evaluates (Section IV-B): reduction,
+/// matrix multiply, convolution, dct, merge sort, and k-means.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HETSIM_TRACE_KERNEL_H
+#define HETSIM_TRACE_KERNEL_H
+
+#include "common/Types.h"
+
+#include <vector>
+
+namespace hetsim {
+
+/// The six evaluated kernels.
+enum class KernelId : uint8_t {
+  Reduction = 0,
+  MatrixMul,
+  Convolution,
+  Dct,
+  MergeSort,
+  KMeans,
+};
+
+/// Number of kernels.
+inline constexpr unsigned NumKernels = 6;
+
+/// All kernel ids in Table III order (reduction, matrix mul, convolution,
+/// dct, merge sort, k-mean).
+const std::vector<KernelId> &allKernels();
+
+/// Transfer direction of a shared data object relative to the GPU.
+enum class TransferDir : uint8_t {
+  HostToDevice, ///< Input: moved CPU -> GPU before GPU compute.
+  DeviceToHost, ///< Output: moved GPU -> CPU after GPU compute.
+};
+
+/// One data object that crosses the CPU/GPU boundary. The per-memory-model
+/// lowering turns these into allocations, copies, and ownership changes.
+struct DataObjectSpec {
+  const char *Name;
+  uint64_t Bytes;
+  TransferDir Dir;
+};
+
+/// Static, per-kernel facts reproducing Table III plus the structure needed
+/// by the programmability model (Table V).
+struct KernelCharacteristics {
+  KernelId Id;
+  const char *Name;        ///< Table III name ("reduction", "matrix mul"...).
+  const char *Pattern;     ///< Compute pattern string from Table III.
+  uint64_t CpuInsts;       ///< Dynamic instructions in the CPU half.
+  uint64_t GpuInsts;       ///< Dynamic instructions in the GPU half.
+  uint64_t SerialInsts;    ///< Dynamic instructions in the sequential part.
+  unsigned NumComms;       ///< Number of CPU<->GPU communications.
+  uint64_t InitialTransferBytes; ///< Initial CPU->GPU transfer size.
+  unsigned GpuRounds;      ///< GPU kernel invocations (ownership rounds).
+  unsigned CompLines;      ///< Source lines for computation (Table V Comp).
+};
+
+/// Returns the Table III characteristics of \p Id.
+const KernelCharacteristics &kernelCharacteristics(KernelId Id);
+
+/// Returns the shared data objects of \p Id. Their HostToDevice sizes sum
+/// to InitialTransferBytes.
+const std::vector<DataObjectSpec> &kernelDataObjects(KernelId Id);
+
+/// Returns the Table III display name of \p Id.
+const char *kernelName(KernelId Id);
+
+/// Looks a kernel up by its Table III name; returns true on success.
+bool kernelByName(const char *Name, KernelId &Out);
+
+} // namespace hetsim
+
+#endif // HETSIM_TRACE_KERNEL_H

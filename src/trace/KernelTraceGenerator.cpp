@@ -1,0 +1,122 @@
+//===- trace/KernelTraceGenerator.cpp -------------------------------------===//
+
+#include "trace/KernelTraceGenerator.h"
+
+#include "common/Error.h"
+
+#include <cassert>
+
+using namespace hetsim;
+
+KernelTraceGenerator::~KernelTraceGenerator() = default;
+
+StreamCursor KernelTraceGenerator::cursorFor(const DataSegment &Segment,
+                                             WorkSplit Split) {
+  StreamCursor Cursor;
+  uint64_t Half = alignDown(Segment.Bytes / 2, CacheLineBytes);
+  // Tiny objects (constant tables) are not split; both PUs read them whole.
+  if (Half < CacheLineBytes)
+    Split = WorkSplit::FullRange;
+  switch (Split) {
+  case WorkSplit::FullRange:
+    Cursor.Base = Segment.Base;
+    Cursor.Bytes = Segment.Bytes;
+    break;
+  case WorkSplit::FirstHalf:
+    Cursor.Base = Segment.Base;
+    Cursor.Bytes = Half;
+    break;
+  case WorkSplit::SecondHalf:
+    Cursor.Base = Segment.Base + Half;
+    Cursor.Bytes = Segment.Bytes - Half;
+    break;
+  }
+  assert(Cursor.Bytes > 0 && "empty cursor range");
+  return Cursor;
+}
+
+TraceBuffer
+KernelTraceGenerator::generateCompute(const GenRequest &Req,
+                                      const KernelDataLayout &Layout) const {
+  TraceBuffer Buffer;
+  if (Req.InstCount == 0)
+    return Buffer;
+  setUpCursors(Layout, Req.Split);
+  TraceEmitter Emitter(Buffer, Req.InstCount);
+  XorShiftRng Rng(Req.Seed * 2654435761u + static_cast<uint64_t>(Req.Pu));
+  uint64_t Iter = 0;
+  if (Req.Pu == PuKind::Cpu) {
+    while (!Emitter.done())
+      cpuIteration(Emitter, Rng, Iter++);
+  } else {
+    while (!Emitter.done())
+      gpuIteration(Emitter, Rng, Iter++);
+  }
+  assert(Buffer.size() == Req.InstCount && "generator missed its budget");
+  return Buffer;
+}
+
+TraceBuffer
+KernelTraceGenerator::generateSerial(uint64_t InstCount,
+                                     const KernelDataLayout &Layout,
+                                     uint64_t Seed) const {
+  // The sequential portion is a CPU-only merge/finalize pass over the
+  // kernel's output object: load partial results, combine, occasionally
+  // store, loop. One iteration is 8 instructions.
+  TraceBuffer Buffer;
+  if (InstCount == 0)
+    return Buffer;
+  const std::vector<DataSegment> &Segments = Layout.segments();
+  assert(!Segments.empty() && "layout has no segments");
+  const DataSegment *Output = &Segments.back();
+  for (const DataSegment &S : Segments)
+    if (S.Dir == TransferDir::DeviceToHost)
+      Output = &S;
+
+  StreamCursor Out = cursorFor(*Output, WorkSplit::FullRange);
+  TraceEmitter E(Buffer, InstCount);
+  XorShiftRng Rng(Seed * 0x9E3779B9u + 7);
+  const uint32_t Pc = pcBase() + 0x8000;
+  uint64_t Iter = 0;
+  while (!E.done()) {
+    Addr Address = Out.advance(4);
+    E.load(Pc + 0, 8, Address, 4);
+    E.alu(Opcode::FpAlu, Pc + 4, 9, 8, 10);
+    E.alu(Opcode::IntAlu, Pc + 8, 10, 9);
+    E.alu(Opcode::FpAlu, Pc + 12, 11, 10, 9);
+    if (Iter % 4 == 3)
+      E.store(Pc + 16, 11, Address, 4);
+    else
+      E.alu(Opcode::IntAlu, Pc + 16, 12, 11);
+    E.alu(Opcode::IntAlu, Pc + 20, 0, 0);
+    E.alu(Opcode::IntAlu, Pc + 24, 13, 12, 11);
+    E.branch(Pc + 28, /*Taken=*/true, 0);
+    ++Iter;
+  }
+  assert(Buffer.size() == InstCount && "serial generator missed its budget");
+  return Buffer;
+}
+
+const KernelTraceGenerator &KernelTraceGenerator::forKernel(KernelId Id) {
+  static const ReductionGenerator Reduction;
+  static const MatrixMulGenerator MatrixMul;
+  static const ConvolutionGenerator Convolution;
+  static const DctGenerator Dct;
+  static const MergeSortGenerator MergeSort;
+  static const KMeansGenerator KMeans;
+  switch (Id) {
+  case KernelId::Reduction:
+    return Reduction;
+  case KernelId::MatrixMul:
+    return MatrixMul;
+  case KernelId::Convolution:
+    return Convolution;
+  case KernelId::Dct:
+    return Dct;
+  case KernelId::MergeSort:
+    return MergeSort;
+  case KernelId::KMeans:
+    return KMeans;
+  }
+  hetsim_unreachable("invalid kernel id");
+}

@@ -1,0 +1,72 @@
+//===- trace/Opcode.cpp ---------------------------------------------------===//
+
+#include "trace/Opcode.h"
+
+#include "common/Error.h"
+
+using namespace hetsim;
+
+const char *hetsim::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Nop:
+    return "nop";
+  case Opcode::IntAlu:
+    return "ialu";
+  case Opcode::IntMul:
+    return "imul";
+  case Opcode::IntDiv:
+    return "idiv";
+  case Opcode::FpAlu:
+    return "falu";
+  case Opcode::FpMul:
+    return "fmul";
+  case Opcode::FpMac:
+    return "fmac";
+  case Opcode::FpDiv:
+    return "fdiv";
+  case Opcode::Load:
+    return "ld";
+  case Opcode::Store:
+    return "st";
+  case Opcode::Branch:
+    return "br";
+  case Opcode::SmemLoad:
+    return "smem_ld";
+  case Opcode::SmemStore:
+    return "smem_st";
+  }
+  hetsim_unreachable("unknown opcode");
+}
+
+Cycle hetsim::executeLatency(PuKind Pu, Opcode Op) {
+  // CPU latencies roughly follow Sandy Bridge; the in-order GPU pipeline
+  // uses Fermi-like latencies (SIMD ops take longer but cover 8 lanes).
+  const bool IsCpu = Pu == PuKind::Cpu;
+  switch (Op) {
+  case Opcode::Nop:
+    return 1;
+  case Opcode::IntAlu:
+    return 1;
+  case Opcode::IntMul:
+    return IsCpu ? 3 : 4;
+  case Opcode::IntDiv:
+    return IsCpu ? 20 : 40;
+  case Opcode::FpAlu:
+    return IsCpu ? 3 : 4;
+  case Opcode::FpMul:
+    return IsCpu ? 5 : 4;
+  case Opcode::FpMac:
+    return IsCpu ? 5 : 4;
+  case Opcode::FpDiv:
+    return IsCpu ? 14 : 32;
+  case Opcode::Load:
+  case Opcode::Store:
+    return 1; // Address generation; hierarchy time is added separately.
+  case Opcode::Branch:
+    return 1;
+  case Opcode::SmemLoad:
+  case Opcode::SmemStore:
+    return 1; // Scratchpad time is added by the GPU core model.
+  }
+  hetsim_unreachable("unknown opcode");
+}

@@ -1,0 +1,66 @@
+//===- trace/Opcode.h - Trace instruction opcodes ---------------*- C++ -*-===//
+///
+/// \file
+/// Opcode classes for trace records. The simulator is trace-driven (like
+/// MacSim, which the paper used): it models timing, not semantics, so
+/// opcodes are latency classes rather than a full ISA.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HETSIM_TRACE_OPCODE_H
+#define HETSIM_TRACE_OPCODE_H
+
+#include "common/Types.h"
+
+namespace hetsim {
+
+/// Instruction classes recognized by the core timing models.
+enum class Opcode : uint8_t {
+  Nop = 0,
+  IntAlu,   ///< 1-cycle integer ALU op.
+  IntMul,   ///< Integer multiply.
+  IntDiv,   ///< Integer divide (long latency).
+  FpAlu,    ///< FP add/sub/compare.
+  FpMul,    ///< FP multiply.
+  FpMac,    ///< Fused multiply-accumulate.
+  FpDiv,    ///< FP divide (long latency).
+  Load,     ///< Memory load.
+  Store,    ///< Memory store.
+  Branch,   ///< Conditional branch.
+  SmemLoad, ///< GPU software-managed-cache (scratchpad) load.
+  SmemStore,///< GPU software-managed-cache (scratchpad) store.
+};
+
+/// Number of opcode values (for latency tables).
+inline constexpr unsigned NumOpcodes = 13;
+
+/// Returns a stable mnemonic for \p Op.
+const char *opcodeName(Opcode Op);
+
+/// True for Load/Store/SmemLoad/SmemStore.
+inline bool isMemoryOp(Opcode Op) {
+  return Op == Opcode::Load || Op == Opcode::Store ||
+         Op == Opcode::SmemLoad || Op == Opcode::SmemStore;
+}
+
+/// True for ops that access the cache hierarchy (not the scratchpad).
+inline bool isGlobalMemoryOp(Opcode Op) {
+  return Op == Opcode::Load || Op == Opcode::Store;
+}
+
+/// True for ops that write memory.
+inline bool isStoreOp(Opcode Op) {
+  return Op == Opcode::Store || Op == Opcode::SmemStore;
+}
+
+/// True for Branch.
+inline bool isBranchOp(Opcode Op) { return Op == Opcode::Branch; }
+
+/// Execution latency (cycles in the owning PU's clock) of \p Op, excluding
+/// any memory-hierarchy time. These follow common Sandy-Bridge-class
+/// latencies for the CPU and Fermi-class latencies for the GPU.
+Cycle executeLatency(PuKind Pu, Opcode Op);
+
+} // namespace hetsim
+
+#endif // HETSIM_TRACE_OPCODE_H

@@ -1,0 +1,99 @@
+//===- trace/TraceBuffer.h - A materialized instruction trace ---*- C++ -*-===//
+///
+/// \file
+/// A growable sequence of TraceRecords with emission helpers and summary
+/// statistics. Kernel generators fill TraceBuffers; core models consume
+/// them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HETSIM_TRACE_TRACEBUFFER_H
+#define HETSIM_TRACE_TRACEBUFFER_H
+
+#include "trace/TraceRecord.h"
+
+#include <vector>
+
+namespace hetsim {
+
+/// Summary counts over a trace.
+struct TraceMix {
+  uint64_t Total = 0;
+  uint64_t Loads = 0;
+  uint64_t Stores = 0;
+  uint64_t Branches = 0;
+  uint64_t Alu = 0;
+  uint64_t Smem = 0;
+  uint64_t MemBytes = 0;
+};
+
+/// A materialized trace plus convenience emitters used by the generators.
+class TraceBuffer {
+public:
+  TraceBuffer() = default;
+
+  /// Pre-allocates space for \p Count records.
+  void reserve(size_t Count) { Records.reserve(Count); }
+
+  /// Appends \p Record verbatim.
+  void append(const TraceRecord &Record) { Records.push_back(Record); }
+
+  /// Emits an ALU-class instruction Dst <- SrcA op SrcB.
+  void emitAlu(Opcode Op, uint32_t Pc, uint8_t Dst, uint8_t SrcA,
+               uint8_t SrcB = NoReg);
+
+  /// Emits a scalar load of \p Bytes at \p Address into \p Dst.
+  void emitLoad(uint32_t Pc, uint8_t Dst, Addr Address, uint16_t Bytes,
+                uint8_t AddrReg = NoReg);
+
+  /// Emits a scalar store of \p Bytes at \p Address from \p Src.
+  void emitStore(uint32_t Pc, uint8_t Src, Addr Address, uint16_t Bytes,
+                 uint8_t AddrReg = NoReg);
+
+  /// Emits a conditional branch at \p Pc with outcome \p Taken, optionally
+  /// depending on \p CondReg.
+  void emitBranch(uint32_t Pc, bool Taken, uint8_t CondReg = NoReg);
+
+  /// Emits a GPU warp load: \p Lanes lanes of \p BytesPerLane starting at
+  /// \p Address with \p StrideBytes between lanes.
+  void emitSimdLoad(uint32_t Pc, uint8_t Dst, Addr Address,
+                    uint16_t BytesPerLane, uint8_t Lanes,
+                    uint16_t StrideBytes);
+
+  /// Emits a GPU warp store.
+  void emitSimdStore(uint32_t Pc, uint8_t Src, Addr Address,
+                     uint16_t BytesPerLane, uint8_t Lanes,
+                     uint16_t StrideBytes);
+
+  /// Emits a scratchpad (software-managed cache) access. \p StrideBytes
+  /// is the lane stride (bank-conflict behaviour; 4 = conflict-free).
+  void emitSmem(bool IsStore, uint32_t Pc, uint8_t Reg, Addr Offset,
+                uint16_t Bytes, uint8_t Lanes = 1,
+                uint16_t StrideBytes = 4);
+
+  size_t size() const { return Records.size(); }
+  bool empty() const { return Records.empty(); }
+  const TraceRecord &operator[](size_t I) const { return Records[I]; }
+
+  const std::vector<TraceRecord> &records() const { return Records; }
+
+  std::vector<TraceRecord>::const_iterator begin() const {
+    return Records.begin();
+  }
+  std::vector<TraceRecord>::const_iterator end() const {
+    return Records.end();
+  }
+
+  /// Computes the instruction-mix summary.
+  TraceMix computeMix() const;
+
+  /// Removes all records.
+  void clear() { Records.clear(); }
+
+private:
+  std::vector<TraceRecord> Records;
+};
+
+} // namespace hetsim
+
+#endif // HETSIM_TRACE_TRACEBUFFER_H

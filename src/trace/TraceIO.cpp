@@ -1,0 +1,157 @@
+//===- trace/TraceIO.cpp --------------------------------------------------===//
+
+#include "trace/TraceIO.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace hetsim;
+
+namespace {
+
+constexpr char TraceMagic[8] = {'H', 'E', 'T', 'T', 'R', 'A', 'C', 'E'};
+
+void putU64(std::string &Out, uint64_t Value) {
+  for (int I = 0; I != 8; ++I)
+    Out.push_back(char((Value >> (8 * I)) & 0xFF));
+}
+
+void putU32(std::string &Out, uint32_t Value) {
+  for (int I = 0; I != 4; ++I)
+    Out.push_back(char((Value >> (8 * I)) & 0xFF));
+}
+
+void putU16(std::string &Out, uint16_t Value) {
+  Out.push_back(char(Value & 0xFF));
+  Out.push_back(char((Value >> 8) & 0xFF));
+}
+
+class ByteReader {
+public:
+  explicit ByteReader(const std::string &Bytes, size_t Start = 0)
+      : Bytes(Bytes), Pos(Start) {}
+
+  bool u64(uint64_t &Out) {
+    if (Pos + 8 > Bytes.size())
+      return false;
+    Out = 0;
+    for (int I = 0; I != 8; ++I)
+      Out |= uint64_t(uint8_t(Bytes[Pos + I])) << (8 * I);
+    Pos += 8;
+    return true;
+  }
+
+  bool u32(uint32_t &Out) {
+    if (Pos + 4 > Bytes.size())
+      return false;
+    Out = 0;
+    for (int I = 0; I != 4; ++I)
+      Out |= uint32_t(uint8_t(Bytes[Pos + I])) << (8 * I);
+    Pos += 4;
+    return true;
+  }
+
+  bool u16(uint16_t &Out) {
+    if (Pos + 2 > Bytes.size())
+      return false;
+    Out = uint16_t(uint8_t(Bytes[Pos])) |
+          uint16_t(uint16_t(uint8_t(Bytes[Pos + 1])) << 8);
+    Pos += 2;
+    return true;
+  }
+
+  bool u8(uint8_t &Out) {
+    if (Pos >= Bytes.size())
+      return false;
+    Out = uint8_t(Bytes[Pos]);
+    ++Pos;
+    return true;
+  }
+
+  bool atEnd() const { return Pos == Bytes.size(); }
+
+private:
+  const std::string &Bytes;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+std::string hetsim::serializeTrace(const TraceBuffer &Trace) {
+  std::string Out;
+  Out.reserve(16 + 8 + Trace.size() * 20);
+  Out.append(TraceMagic, sizeof(TraceMagic));
+  putU32(Out, TraceFileVersion);
+  putU32(Out, 0); // Reserved.
+  putU64(Out, Trace.size());
+  for (const TraceRecord &R : Trace) {
+    putU64(Out, R.MemAddr);
+    putU32(Out, R.Pc);
+    putU16(Out, R.MemBytes);
+    putU16(Out, R.LaneStrideBytes);
+    Out.push_back(char(static_cast<uint8_t>(R.Op)));
+    Out.push_back(char(R.DstReg));
+    Out.push_back(char(R.SrcRegA));
+    Out.push_back(char(R.SrcRegB));
+    Out.push_back(char(R.SimdLanes));
+    Out.push_back(char(R.IsTaken ? 1 : 0));
+  }
+  return Out;
+}
+
+bool hetsim::deserializeTrace(const std::string &Bytes, TraceBuffer &Out) {
+  Out.clear();
+  if (Bytes.size() < 24)
+    return false;
+  if (std::memcmp(Bytes.data(), TraceMagic, sizeof(TraceMagic)) != 0)
+    return false;
+
+  ByteReader Reader(Bytes, sizeof(TraceMagic));
+  uint32_t Version = 0, Reserved = 0;
+  uint64_t Count = 0;
+  if (!Reader.u32(Version) || !Reader.u32(Reserved) || !Reader.u64(Count))
+    return false;
+  if (Version != TraceFileVersion)
+    return false;
+
+  Out.reserve(Count);
+  for (uint64_t I = 0; I != Count; ++I) {
+    TraceRecord R;
+    uint8_t Op = 0, Taken = 0;
+    if (!Reader.u64(R.MemAddr) || !Reader.u32(R.Pc) ||
+        !Reader.u16(R.MemBytes) || !Reader.u16(R.LaneStrideBytes) ||
+        !Reader.u8(Op) || !Reader.u8(R.DstReg) || !Reader.u8(R.SrcRegA) ||
+        !Reader.u8(R.SrcRegB) || !Reader.u8(R.SimdLanes) ||
+        !Reader.u8(Taken))
+      return false;
+    if (Op >= NumOpcodes)
+      return false;
+    R.Op = static_cast<Opcode>(Op);
+    R.IsTaken = Taken != 0;
+    Out.append(R);
+  }
+  return Reader.atEnd();
+}
+
+bool hetsim::saveTrace(const TraceBuffer &Trace, const std::string &Path) {
+  std::string Bytes = serializeTrace(Trace);
+  std::FILE *File = std::fopen(Path.c_str(), "wb");
+  if (!File)
+    return false;
+  size_t Written = std::fwrite(Bytes.data(), 1, Bytes.size(), File);
+  bool Ok = std::fclose(File) == 0 && Written == Bytes.size();
+  return Ok;
+}
+
+bool hetsim::loadTrace(const std::string &Path, TraceBuffer &Out) {
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  if (!File)
+    return false;
+  std::string Bytes;
+  char Buffer[64 * 1024];
+  size_t Read;
+  while ((Read = std::fread(Buffer, 1, sizeof(Buffer), File)) > 0)
+    Bytes.append(Buffer, Read);
+  std::fclose(File);
+  return deserializeTrace(Bytes, Out);
+}

@@ -1,0 +1,40 @@
+//===- trace/TraceIO.h - Trace file serialization ---------------*- C++ -*-===//
+///
+/// \file
+/// Binary save/load for TraceBuffers, so workloads can be captured once
+/// and replayed across design points (the trace-driven methodology's
+/// natural file format). The format is a small fixed header (magic,
+/// version, record count) followed by packed records; integers are
+/// little-endian (we serialize field-by-field, so the format is
+/// independent of struct layout changes).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HETSIM_TRACE_TRACEIO_H
+#define HETSIM_TRACE_TRACEIO_H
+
+#include "trace/TraceBuffer.h"
+
+#include <string>
+
+namespace hetsim {
+
+/// Current trace-file format version.
+inline constexpr uint32_t TraceFileVersion = 1;
+
+/// Writes \p Trace to \p Path; returns false on I/O failure.
+bool saveTrace(const TraceBuffer &Trace, const std::string &Path);
+
+/// Reads a trace from \p Path into \p Out (replacing its contents).
+/// Returns false on I/O failure, bad magic, or version mismatch.
+bool loadTrace(const std::string &Path, TraceBuffer &Out);
+
+/// Serializes to an in-memory byte string (the file body).
+std::string serializeTrace(const TraceBuffer &Trace);
+
+/// Deserializes from bytes produced by serializeTrace().
+bool deserializeTrace(const std::string &Bytes, TraceBuffer &Out);
+
+} // namespace hetsim
+
+#endif // HETSIM_TRACE_TRACEIO_H

@@ -1,0 +1,64 @@
+//===- trace/TraceRecord.h - One dynamic instruction ------------*- C++ -*-===//
+///
+/// \file
+/// The dynamic-instruction record consumed by the core timing models. CPU
+/// records describe one scalar instruction; GPU records describe one warp
+/// (SIMD) instruction whose memory operands cover SimdLanes lanes separated
+/// by LaneStrideBytes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HETSIM_TRACE_TRACERECORD_H
+#define HETSIM_TRACE_TRACERECORD_H
+
+#include "trace/Opcode.h"
+
+namespace hetsim {
+
+/// Register index meaning "no register operand".
+inline constexpr uint8_t NoReg = 0xFF;
+
+/// Number of architectural registers modeled per core.
+inline constexpr unsigned NumTraceRegs = 64;
+
+/// One dynamic instruction in a trace.
+struct TraceRecord {
+  /// Base effective address for memory ops (lane 0 for SIMD).
+  Addr MemAddr = 0;
+
+  /// Static PC of the instruction (used by the branch predictor).
+  uint32_t Pc = 0;
+
+  /// Bytes accessed per lane for memory ops.
+  uint16_t MemBytes = 0;
+
+  /// Byte distance between consecutive lanes' addresses (GPU memory ops).
+  uint16_t LaneStrideBytes = 0;
+
+  Opcode Op = Opcode::Nop;
+
+  /// Destination register, or NoReg.
+  uint8_t DstReg = NoReg;
+
+  /// Source registers, or NoReg.
+  uint8_t SrcRegA = NoReg;
+  uint8_t SrcRegB = NoReg;
+
+  /// Active SIMD lanes (1 for CPU instructions, up to 8 for GPU warps).
+  uint8_t SimdLanes = 1;
+
+  /// Branch outcome (valid when Op == Branch).
+  bool IsTaken = false;
+
+  /// Returns the total byte footprint of a memory op across all lanes.
+  uint64_t totalBytes() const {
+    return uint64_t(MemBytes) * uint64_t(SimdLanes);
+  }
+};
+
+static_assert(sizeof(TraceRecord) <= 24,
+              "TraceRecord should stay compact; traces hold millions");
+
+} // namespace hetsim
+
+#endif // HETSIM_TRACE_TRACERECORD_H

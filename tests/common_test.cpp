@@ -1,0 +1,369 @@
+//===- tests/common_test.cpp - common/ unit tests -------------------------===//
+
+#include "common/Config.h"
+#include "common/Random.h"
+#include "common/Stats.h"
+#include "common/StringUtil.h"
+#include "common/TextTable.h"
+#include "common/Types.h"
+#include "common/Units.h"
+
+#include <gtest/gtest.h>
+
+using namespace hetsim;
+
+//===----------------------------------------------------------------------===//
+// Types helpers.
+//===----------------------------------------------------------------------===//
+
+TEST(Types, AlignHelpers) {
+  EXPECT_EQ(alignUp(0, 64), 0u);
+  EXPECT_EQ(alignUp(1, 64), 64u);
+  EXPECT_EQ(alignUp(64, 64), 64u);
+  EXPECT_EQ(alignUp(65, 64), 128u);
+  EXPECT_EQ(alignDown(63, 64), 0u);
+  EXPECT_EQ(alignDown(64, 64), 64u);
+  EXPECT_EQ(alignDown(127, 64), 64u);
+}
+
+TEST(Types, PowerOf2AndLog2) {
+  EXPECT_TRUE(isPowerOf2(1));
+  EXPECT_TRUE(isPowerOf2(64));
+  EXPECT_FALSE(isPowerOf2(0));
+  EXPECT_FALSE(isPowerOf2(96));
+  EXPECT_EQ(log2Exact(1), 0u);
+  EXPECT_EQ(log2Exact(64), 6u);
+  EXPECT_EQ(log2Exact(4096), 12u);
+}
+
+TEST(Types, CeilDiv) {
+  EXPECT_EQ(ceilDiv(0, 4), 0u);
+  EXPECT_EQ(ceilDiv(1, 4), 1u);
+  EXPECT_EQ(ceilDiv(4, 4), 1u);
+  EXPECT_EQ(ceilDiv(5, 4), 2u);
+}
+
+TEST(Types, PuHelpers) {
+  EXPECT_STREQ(puKindName(PuKind::Cpu), "CPU");
+  EXPECT_STREQ(puKindName(PuKind::Gpu), "GPU");
+  EXPECT_EQ(otherPu(PuKind::Cpu), PuKind::Gpu);
+  EXPECT_EQ(otherPu(PuKind::Gpu), PuKind::Cpu);
+  EXPECT_EQ(puIndex(PuKind::Cpu), 0u);
+  EXPECT_EQ(puIndex(PuKind::Gpu), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Units: clock-domain conversion.
+//===----------------------------------------------------------------------===//
+
+TEST(Units, CyclesToNs) {
+  // 3.5 cycles per ns on the CPU; 1.5 on the GPU.
+  EXPECT_DOUBLE_EQ(cyclesToNs(PuKind::Cpu, 3500), 1000.0);
+  EXPECT_DOUBLE_EQ(cyclesToNs(PuKind::Gpu, 1500), 1000.0);
+}
+
+TEST(Units, NsToCyclesRoundsUp) {
+  EXPECT_EQ(nsToCycles(PuKind::Cpu, 1.0), 4u);  // 3.5 -> 4.
+  EXPECT_EQ(nsToCycles(PuKind::Cpu, 2.0), 7u);  // Exactly 7.
+  EXPECT_EQ(nsToCycles(PuKind::Gpu, 1.0), 2u);  // 1.5 -> 2.
+}
+
+TEST(Units, ConvertCyclesBetweenDomains) {
+  // 7 CPU cycles = 2ns = exactly 3 GPU cycles.
+  EXPECT_EQ(convertCycles(PuKind::Cpu, PuKind::Gpu, 7), 3u);
+  // 3 GPU cycles = 2ns = exactly 7 CPU cycles.
+  EXPECT_EQ(convertCycles(PuKind::Gpu, PuKind::Cpu, 3), 7u);
+  // Identity.
+  EXPECT_EQ(convertCycles(PuKind::Cpu, PuKind::Cpu, 123), 123u);
+}
+
+TEST(Units, TransferCycles) {
+  // 16 bytes at 16GB/s = 1ns = 3.5 CPU cycles -> rounds to 4.
+  EXPECT_EQ(transferCycles(PuKind::Cpu, 16, 16e9), 4u);
+  // 0 bytes costs 0.
+  EXPECT_EQ(transferCycles(PuKind::Cpu, 0, 16e9), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// ConfigStore.
+//===----------------------------------------------------------------------===//
+
+TEST(Config, TypedAccessors) {
+  ConfigStore Config;
+  Config.setInt("a", 42);
+  Config.setDouble("b", 2.5);
+  Config.setBool("c", true);
+  Config.set("d", "hello");
+  EXPECT_EQ(Config.getInt("a", 0), 42);
+  EXPECT_DOUBLE_EQ(Config.getDouble("b", 0), 2.5);
+  EXPECT_TRUE(Config.getBool("c", false));
+  EXPECT_EQ(Config.getString("d", ""), "hello");
+}
+
+TEST(Config, DefaultsForMissingKeys) {
+  ConfigStore Config;
+  EXPECT_EQ(Config.getInt("missing", -7), -7);
+  EXPECT_EQ(Config.getUInt("missing", 9), 9u);
+  EXPECT_FALSE(Config.getBool("missing", false));
+  EXPECT_FALSE(Config.has("missing"));
+}
+
+TEST(Config, ParseAssignment) {
+  ConfigStore Config;
+  EXPECT_TRUE(Config.parseAssignment("  key = 17 "));
+  EXPECT_EQ(Config.getInt("key", 0), 17);
+  EXPECT_FALSE(Config.parseAssignment("no-equals-sign"));
+  EXPECT_FALSE(Config.parseAssignment("=value"));
+}
+
+TEST(Config, ParseLinesWithComments) {
+  ConfigStore Config;
+  unsigned Applied = Config.parseLines("a=1\n# comment\nb=2 # trailing\n\n");
+  EXPECT_EQ(Applied, 2u);
+  EXPECT_EQ(Config.getInt("a", 0), 1);
+  EXPECT_EQ(Config.getInt("b", 0), 2);
+}
+
+TEST(Config, MergeOtherWins) {
+  ConfigStore A, B;
+  A.setInt("x", 1);
+  A.setInt("y", 2);
+  B.setInt("y", 20);
+  A.mergeFrom(B);
+  EXPECT_EQ(A.getInt("x", 0), 1);
+  EXPECT_EQ(A.getInt("y", 0), 20);
+}
+
+TEST(Config, KeysSorted) {
+  ConfigStore Config;
+  Config.setInt("zebra", 1);
+  Config.setInt("alpha", 2);
+  auto Keys = Config.keys();
+  ASSERT_EQ(Keys.size(), 2u);
+  EXPECT_EQ(Keys[0], "alpha");
+  EXPECT_EQ(Keys[1], "zebra");
+}
+
+TEST(Config, HexValues) {
+  ConfigStore Config;
+  Config.set("addr", "0x40");
+  EXPECT_EQ(Config.getInt("addr", 0), 64);
+}
+
+//===----------------------------------------------------------------------===//
+// Stats.
+//===----------------------------------------------------------------------===//
+
+TEST(Stats, CountersDefaultZero) {
+  StatRegistry Stats;
+  EXPECT_EQ(Stats.counter("never.set"), 0u);
+}
+
+TEST(Stats, IncrementAndSet) {
+  StatRegistry Stats;
+  Stats.increment("hits");
+  Stats.increment("hits", 4);
+  EXPECT_EQ(Stats.counter("hits"), 5u);
+  Stats.setCounter("hits", 2);
+  EXPECT_EQ(Stats.counter("hits"), 2u);
+}
+
+TEST(Stats, PrefixQuery) {
+  StatRegistry Stats;
+  Stats.increment("l1.hits", 3);
+  Stats.increment("l1.misses", 1);
+  Stats.increment("l2.hits", 7);
+  auto L1 = Stats.countersWithPrefix("l1.");
+  ASSERT_EQ(L1.size(), 2u);
+  EXPECT_EQ(L1[0].first, "l1.hits");
+  EXPECT_EQ(L1[1].first, "l1.misses");
+}
+
+TEST(Stats, Distribution) {
+  StatRegistry Stats;
+  Stats.addSample("lat", 10.0);
+  Stats.addSample("lat", 30.0);
+  Stats.addSample("lat", 20.0);
+  const StatDistribution &D = Stats.distribution("lat");
+  EXPECT_EQ(D.count(), 3u);
+  EXPECT_DOUBLE_EQ(D.min(), 10.0);
+  EXPECT_DOUBLE_EQ(D.max(), 30.0);
+  EXPECT_DOUBLE_EQ(D.mean(), 20.0);
+}
+
+TEST(Stats, EmptyDistribution) {
+  StatRegistry Stats;
+  const StatDistribution &D = Stats.distribution("nothing");
+  EXPECT_EQ(D.count(), 0u);
+  EXPECT_DOUBLE_EQ(D.mean(), 0.0);
+}
+
+TEST(Stats, RenderCounters) {
+  StatRegistry Stats;
+  Stats.increment("a", 1);
+  Stats.increment("b", 2);
+  EXPECT_EQ(Stats.renderCounters(), "a = 1\nb = 2\n");
+}
+
+//===----------------------------------------------------------------------===//
+// StringUtil.
+//===----------------------------------------------------------------------===//
+
+TEST(StringUtil, Split) {
+  auto Parts = splitString("a,b,,c", ',');
+  ASSERT_EQ(Parts.size(), 4u);
+  EXPECT_EQ(Parts[0], "a");
+  EXPECT_EQ(Parts[2], "");
+  EXPECT_EQ(Parts[3], "c");
+}
+
+TEST(StringUtil, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("\t\r\n"), "");
+  EXPECT_EQ(trim("abc"), "abc");
+}
+
+TEST(StringUtil, Formatters) {
+  EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(formatPercent(0.1234, 1), "12.3%");
+  EXPECT_EQ(formatBytes(32 * 1024), "32KB");
+  EXPECT_EQ(formatBytes(8ull << 20), "8MB");
+  EXPECT_EQ(formatBytes(100), "100B");
+  EXPECT_EQ(formatCount(1234567), "1,234,567");
+  EXPECT_EQ(formatCount(12), "12");
+}
+
+TEST(StringUtil, StartsWith) {
+  EXPECT_TRUE(startsWith("hetsim.cache", "hetsim"));
+  EXPECT_FALSE(startsWith("het", "hetsim"));
+}
+
+//===----------------------------------------------------------------------===//
+// TextTable.
+//===----------------------------------------------------------------------===//
+
+TEST(TextTable, AlignsColumns) {
+  TextTable Table({"name", "value"});
+  Table.addRow({"x", "1"});
+  Table.addRow({"longer", "22"});
+  std::string Out = Table.render();
+  EXPECT_NE(Out.find("name    value"), std::string::npos);
+  EXPECT_NE(Out.find("longer  22"), std::string::npos);
+}
+
+TEST(TextTable, CsvOutput) {
+  TextTable Table({"a", "b"});
+  Table.addRow({"1", "2"});
+  EXPECT_EQ(Table.renderCsv(), "a,b\n1,2\n");
+}
+
+TEST(TextTable, ShortRowsPadded) {
+  TextTable Table({"a", "b", "c"});
+  Table.addRow({"only"});
+  EXPECT_EQ(Table.rowCount(), 1u);
+  std::string Csv = Table.renderCsv();
+  EXPECT_NE(Csv.find("only,,"), std::string::npos);
+}
+
+TEST(TextTable, NumericRow) {
+  TextTable Table({"k", "v1", "v2"});
+  Table.addNumericRow("row", {1.5, 2.25}, 2);
+  EXPECT_NE(Table.renderCsv().find("row,1.50,2.25"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Logger.
+//===----------------------------------------------------------------------===//
+
+#include "common/Log.h"
+
+TEST(Logger, LevelRoundTrips) {
+  LogLevel Before = Logger::level();
+  Logger::setLevel(LogLevel::Debug);
+  EXPECT_EQ(Logger::level(), LogLevel::Debug);
+  Logger::setLevel(LogLevel::Quiet);
+  EXPECT_EQ(Logger::level(), LogLevel::Quiet);
+  // Emitting below the threshold must be a no-op (and not crash).
+  HETSIM_DEBUG("suppressed %d", 42);
+  Logger::setLevel(Before);
+}
+
+//===----------------------------------------------------------------------===//
+// AsciiChart.
+//===----------------------------------------------------------------------===//
+
+#include "common/AsciiChart.h"
+
+TEST(AsciiChart, BarsScaleToMax) {
+  std::string Out = renderBarChart({{"big", 100.0}, {"half", 50.0}}, 10);
+  // The largest bar uses the full width; the half bar uses half.
+  EXPECT_NE(Out.find("big  |##########"), std::string::npos);
+  EXPECT_NE(Out.find("half |#####"), std::string::npos);
+  EXPECT_NE(Out.find("100.0"), std::string::npos);
+}
+
+TEST(AsciiChart, ZeroValuesDrawNothing) {
+  std::string Out = renderBarChart({{"a", 0.0}, {"b", 0.0}}, 10);
+  EXPECT_EQ(Out.find('#'), std::string::npos);
+}
+
+TEST(AsciiChart, UnitAppended) {
+  std::string Out = renderBarChart({{"x", 3.0}}, 5, "us");
+  EXPECT_NE(Out.find("3.0us"), std::string::npos);
+}
+
+TEST(AsciiChart, StackedBarsUseDistinctGlyphs) {
+  std::vector<StackedBar> Bars = {{"run", {2.0, 2.0, 2.0}}};
+  std::string Out =
+      renderStackedBarChart(Bars, {"a", "b", "c"}, "#=.", 12);
+  EXPECT_NE(Out.find("####===="), std::string::npos);
+  EXPECT_NE(Out.find("...."), std::string::npos);
+  EXPECT_NE(Out.find("legend: #=a ==b .=c"), std::string::npos);
+  EXPECT_NE(Out.find("6.0"), std::string::npos);
+}
+
+TEST(AsciiChart, StackedBarsShareScale) {
+  std::vector<StackedBar> Bars = {{"big", {10.0}}, {"small", {5.0}}};
+  std::string Out = renderStackedBarChart(Bars, {"only"}, "#", 10);
+  EXPECT_NE(Out.find("big   |##########"), std::string::npos);
+  EXPECT_NE(Out.find("small |#####"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Random.
+//===----------------------------------------------------------------------===//
+
+TEST(Random, Deterministic) {
+  XorShiftRng A(42), B(42);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Random, SeedsDiffer) {
+  XorShiftRng A(1), B(2);
+  EXPECT_NE(A.next(), B.next());
+}
+
+TEST(Random, BoundsRespected) {
+  XorShiftRng Rng(7);
+  for (int I = 0; I != 1000; ++I) {
+    EXPECT_LT(Rng.nextBelow(17), 17u);
+    double D = Rng.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(Random, BoolProbabilityRoughlyCorrect) {
+  XorShiftRng Rng(99);
+  int True = 0;
+  const int N = 10000;
+  for (int I = 0; I != N; ++I)
+    True += Rng.nextBool(0.25);
+  EXPECT_NEAR(double(True) / N, 0.25, 0.03);
+}
+
+TEST(Random, ZeroSeedRemapped) {
+  XorShiftRng Rng(0); // A zero state would be a fixed point; must not be.
+  EXPECT_NE(Rng.next(), 0u);
+}

@@ -1,0 +1,212 @@
+//===- tests/consistency_test.cpp - Consistency-model checking ------------===//
+
+#include "core/ConsistencyValidation.h"
+
+#include <gtest/gtest.h>
+
+using namespace hetsim;
+
+//===----------------------------------------------------------------------===//
+// Basic checker semantics.
+//===----------------------------------------------------------------------===//
+
+TEST(Consistency, UnsynchronizedCrossPuWriteReadRaces) {
+  ConsistencyChecker Checker(ConsistencyModel::Weak);
+  Checker.write(PuKind::Cpu, "a");
+  Checker.read(PuKind::Gpu, "a");
+  auto Violations = Checker.check();
+  ASSERT_EQ(Violations.size(), 1u);
+  EXPECT_EQ(Violations[0].Object, "a");
+  EXPECT_EQ(Violations[0].EarlierIndex, 0u);
+  EXPECT_EQ(Violations[0].LaterIndex, 1u);
+}
+
+TEST(Consistency, ReadReadNeverConflicts) {
+  ConsistencyChecker Checker(ConsistencyModel::Weak);
+  Checker.read(PuKind::Cpu, "a");
+  Checker.read(PuKind::Gpu, "a");
+  EXPECT_TRUE(Checker.isRaceFree());
+}
+
+TEST(Consistency, SamePuIsProgramOrdered) {
+  ConsistencyChecker Checker(ConsistencyModel::Weak);
+  Checker.write(PuKind::Cpu, "a");
+  Checker.write(PuKind::Cpu, "a");
+  EXPECT_TRUE(Checker.isRaceFree());
+}
+
+TEST(Consistency, DifferentObjectsDoNotConflict) {
+  ConsistencyChecker Checker(ConsistencyModel::Weak);
+  Checker.write(PuKind::Cpu, "a");
+  Checker.write(PuKind::Gpu, "b");
+  EXPECT_TRUE(Checker.isRaceFree());
+}
+
+TEST(Consistency, ReleaseAcquireOrders) {
+  ConsistencyChecker Checker(ConsistencyModel::Weak);
+  Checker.write(PuKind::Cpu, "a");
+  Checker.release(PuKind::Cpu, "a");
+  Checker.acquire(PuKind::Gpu, "a");
+  Checker.read(PuKind::Gpu, "a");
+  EXPECT_TRUE(Checker.isRaceFree());
+}
+
+TEST(Consistency, AcquireWithoutReleaseDoesNotOrder) {
+  ConsistencyChecker Checker(ConsistencyModel::Weak);
+  Checker.write(PuKind::Cpu, "a");
+  Checker.acquire(PuKind::Gpu, "a"); // No matching release before it.
+  Checker.read(PuKind::Gpu, "a");
+  EXPECT_FALSE(Checker.isRaceFree());
+}
+
+TEST(Consistency, ReleasePublishesAllPriorWrites) {
+  // Standard release semantics: a release is a one-way fence that
+  // publishes everything before it, not only the released object; the
+  // matching acquire therefore orders the earlier write of 'a' too.
+  ConsistencyChecker Checker(ConsistencyModel::Weak);
+  Checker.write(PuKind::Cpu, "a");
+  Checker.release(PuKind::Cpu, "b");
+  Checker.acquire(PuKind::Gpu, "b");
+  Checker.read(PuKind::Gpu, "a");
+  EXPECT_TRUE(Checker.isRaceFree());
+}
+
+TEST(Consistency, AcquireBeforeReleaseInHistoryDoesNotOrder) {
+  // The acquire precedes the only release in the history: no edge.
+  ConsistencyChecker Checker(ConsistencyModel::Weak);
+  Checker.acquire(PuKind::Gpu, "b");
+  Checker.write(PuKind::Cpu, "a");
+  Checker.release(PuKind::Cpu, "b");
+  Checker.read(PuKind::Gpu, "a");
+  EXPECT_FALSE(Checker.isRaceFree());
+}
+
+TEST(Consistency, ReleaseAcquireIsTransitiveWithProgramOrder) {
+  // CPU writes a, releases it; GPU acquires, then writes b; CPU acquires
+  // b... ordering chains through program order on the GPU.
+  ConsistencyChecker Checker(ConsistencyModel::Weak);
+  Checker.write(PuKind::Cpu, "a");
+  Checker.release(PuKind::Cpu, "a");
+  Checker.acquire(PuKind::Gpu, "a");
+  Checker.write(PuKind::Gpu, "b");
+  Checker.release(PuKind::Gpu, "b");
+  Checker.acquire(PuKind::Cpu, "b");
+  Checker.read(PuKind::Cpu, "b");
+  Checker.read(PuKind::Cpu, "a"); // Ordered transitively via b's edge? No:
+  // a's release was CPU's own; CPU reading a is program-ordered anyway.
+  EXPECT_TRUE(Checker.isRaceFree());
+}
+
+TEST(Consistency, KernelLaunchOrdersPriorCpuWork) {
+  ConsistencyChecker Checker(ConsistencyModel::Weak);
+  Checker.write(PuKind::Cpu, "in");
+  Checker.kernelLaunch();
+  Checker.read(PuKind::Gpu, "in");
+  EXPECT_TRUE(Checker.isRaceFree());
+}
+
+TEST(Consistency, KernelReturnOrdersGpuResults) {
+  ConsistencyChecker Checker(ConsistencyModel::Weak);
+  Checker.kernelLaunch();
+  Checker.write(PuKind::Gpu, "out");
+  Checker.kernelReturn();
+  Checker.read(PuKind::Cpu, "out");
+  EXPECT_TRUE(Checker.isRaceFree());
+}
+
+TEST(Consistency, MissingJoinIsARace) {
+  ConsistencyChecker Checker(ConsistencyModel::Weak);
+  Checker.kernelLaunch();
+  Checker.write(PuKind::Gpu, "out");
+  // No kernelReturn: the CPU reads unsynchronized GPU data.
+  Checker.read(PuKind::Cpu, "out");
+  EXPECT_FALSE(Checker.isRaceFree());
+}
+
+TEST(Consistency, LaunchDoesNotOrderLaterCpuWrites) {
+  // Work the CPU does *after* the launch is not ordered before GPU reads.
+  ConsistencyChecker Checker(ConsistencyModel::Weak);
+  Checker.kernelLaunch();
+  Checker.write(PuKind::Cpu, "in"); // Late host update: racy.
+  Checker.read(PuKind::Gpu, "in");
+  EXPECT_FALSE(Checker.isRaceFree());
+}
+
+TEST(Consistency, BarrierOrdersEverything) {
+  ConsistencyChecker Checker(ConsistencyModel::Weak);
+  Checker.write(PuKind::Cpu, "a");
+  Checker.write(PuKind::Gpu, "b");
+  Checker.barrier(PuKind::Cpu);
+  Checker.read(PuKind::Gpu, "a");
+  Checker.read(PuKind::Cpu, "b");
+  EXPECT_TRUE(Checker.isRaceFree());
+}
+
+TEST(Consistency, StrongModelNeverReports) {
+  ConsistencyChecker Checker(ConsistencyModel::Strong);
+  Checker.write(PuKind::Cpu, "a");
+  Checker.write(PuKind::Gpu, "a"); // Racy under weak; defined under SC.
+  EXPECT_TRUE(Checker.isRaceFree());
+}
+
+TEST(Consistency, WriteWriteConflictDetected) {
+  ConsistencyChecker Checker(ConsistencyModel::Weak);
+  Checker.write(PuKind::Cpu, "a");
+  Checker.write(PuKind::Gpu, "a");
+  EXPECT_EQ(Checker.check().size(), 1u);
+}
+
+TEST(Consistency, CentralizedReleaseUsesSameEdges) {
+  ConsistencyChecker Checker(ConsistencyModel::CentralizedRelease);
+  Checker.write(PuKind::Cpu, "a");
+  Checker.release(PuKind::Cpu, "a");
+  Checker.acquire(PuKind::Gpu, "a");
+  Checker.write(PuKind::Gpu, "a");
+  EXPECT_TRUE(Checker.isRaceFree());
+}
+
+TEST(Consistency, ViolationDescriptionIsReadable) {
+  ConsistencyChecker Checker(ConsistencyModel::Weak);
+  Checker.write(PuKind::Cpu, "data");
+  Checker.read(PuKind::Gpu, "data");
+  auto Violations = Checker.check();
+  ASSERT_EQ(Violations.size(), 1u);
+  EXPECT_NE(Violations[0].Description.find("CPU write"), std::string::npos);
+  EXPECT_NE(Violations[0].Description.find("GPU read"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Lowered programs are race-free under weak consistency.
+//===----------------------------------------------------------------------===//
+
+class ProgramRaceFreedom
+    : public ::testing::TestWithParam<std::tuple<KernelId, CaseStudy>> {};
+
+TEST_P(ProgramRaceFreedom, LoweredProgramsAreRaceFree) {
+  auto [Kernel, Study] = GetParam();
+  SystemConfig Config = SystemConfig::forCaseStudy(Study);
+  LoweredProgram Program = lowerKernel(Kernel, Config);
+  ConsistencyChecker Checker =
+      buildSyncHistory(Program, ConsistencyModel::Weak);
+  auto Violations = Checker.check();
+  EXPECT_TRUE(Violations.empty())
+      << kernelName(Kernel) << " on " << caseStudyName(Study) << ": "
+      << (Violations.empty() ? "" : Violations.front().Description);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, ProgramRaceFreedom,
+    ::testing::Combine(::testing::Values(KernelId::Reduction,
+                                         KernelId::Convolution,
+                                         KernelId::MergeSort,
+                                         KernelId::KMeans),
+                       ::testing::Values(CaseStudy::CpuGpu, CaseStudy::Lrb,
+                                         CaseStudy::Gmac, CaseStudy::Fusion,
+                                         CaseStudy::IdealHetero)));
+
+TEST(ProgramRaceFreedomExtra, ValidateHelper) {
+  SystemConfig Config = SystemConfig::forCaseStudy(CaseStudy::Lrb);
+  LoweredProgram Program = lowerKernel(KernelId::Reduction, Config);
+  EXPECT_TRUE(validateRaceFree(Program));
+  EXPECT_TRUE(validateRaceFree(Program, ConsistencyModel::Strong));
+}

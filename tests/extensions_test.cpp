@@ -1,0 +1,548 @@
+//===- tests/extensions_test.cpp - Extension-module tests -----------------===//
+///
+/// \file
+/// Tests for the modules that extend the paper's core evaluation: trace
+/// serialization, the GMAC-style software coherence runtime, the L2
+/// stream prefetcher, the energy model, and the work-partitioning sweep.
+///
+//===----------------------------------------------------------------------===//
+
+#include "cache/StreamPrefetcher.h"
+#include "core/Experiments.h"
+#include "core/ExtraWorkloads.h"
+#include "energy/EnergyModel.h"
+#include "memory/SoftwareCoherence.h"
+#include "trace/KernelTraceGenerator.h"
+#include "trace/TraceIO.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+using namespace hetsim;
+
+//===----------------------------------------------------------------------===//
+// Trace serialization.
+//===----------------------------------------------------------------------===//
+
+namespace {
+TraceBuffer makeSampleTrace() {
+  KernelDataLayout Layout =
+      KernelDataLayout::makeLinear(KernelId::MergeSort, 0x10000000);
+  GenRequest Req;
+  Req.Pu = PuKind::Gpu;
+  Req.InstCount = 2000;
+  Req.Seed = 99;
+  return KernelTraceGenerator::forKernel(KernelId::MergeSort)
+      .generateCompute(Req, Layout);
+}
+
+bool tracesEqual(const TraceBuffer &A, const TraceBuffer &B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0; I != A.size(); ++I) {
+    const TraceRecord &X = A[I], &Y = B[I];
+    if (X.Op != Y.Op || X.MemAddr != Y.MemAddr || X.Pc != Y.Pc ||
+        X.MemBytes != Y.MemBytes || X.LaneStrideBytes != Y.LaneStrideBytes ||
+        X.DstReg != Y.DstReg || X.SrcRegA != Y.SrcRegA ||
+        X.SrcRegB != Y.SrcRegB || X.SimdLanes != Y.SimdLanes ||
+        X.IsTaken != Y.IsTaken)
+      return false;
+  }
+  return true;
+}
+} // namespace
+
+TEST(TraceIO, InMemoryRoundTrip) {
+  TraceBuffer Original = makeSampleTrace();
+  std::string Bytes = serializeTrace(Original);
+  TraceBuffer Restored;
+  ASSERT_TRUE(deserializeTrace(Bytes, Restored));
+  EXPECT_TRUE(tracesEqual(Original, Restored));
+}
+
+TEST(TraceIO, EmptyTraceRoundTrip) {
+  TraceBuffer Empty;
+  TraceBuffer Restored;
+  ASSERT_TRUE(deserializeTrace(serializeTrace(Empty), Restored));
+  EXPECT_TRUE(Restored.empty());
+}
+
+TEST(TraceIO, RejectsBadMagic) {
+  std::string Bytes = serializeTrace(makeSampleTrace());
+  Bytes[0] = 'X';
+  TraceBuffer Out;
+  EXPECT_FALSE(deserializeTrace(Bytes, Out));
+}
+
+TEST(TraceIO, RejectsWrongVersion) {
+  std::string Bytes = serializeTrace(makeSampleTrace());
+  Bytes[8] = char(TraceFileVersion + 1);
+  TraceBuffer Out;
+  EXPECT_FALSE(deserializeTrace(Bytes, Out));
+}
+
+TEST(TraceIO, RejectsTruncation) {
+  std::string Bytes = serializeTrace(makeSampleTrace());
+  Bytes.resize(Bytes.size() - 5);
+  TraceBuffer Out;
+  EXPECT_FALSE(deserializeTrace(Bytes, Out));
+}
+
+TEST(TraceIO, RejectsTrailingGarbage) {
+  std::string Bytes = serializeTrace(makeSampleTrace());
+  Bytes += "junk";
+  TraceBuffer Out;
+  EXPECT_FALSE(deserializeTrace(Bytes, Out));
+}
+
+TEST(TraceIO, RejectsInvalidOpcode) {
+  TraceBuffer One;
+  One.emitLoad(0x100, 1, 0x40, 4);
+  std::string Bytes = serializeTrace(One);
+  // The opcode byte is at header(24) + 8 + 4 + 2 + 2 = offset 40.
+  Bytes[40] = char(200);
+  TraceBuffer Out;
+  EXPECT_FALSE(deserializeTrace(Bytes, Out));
+}
+
+TEST(TraceIO, FileRoundTrip) {
+  TraceBuffer Original = makeSampleTrace();
+  std::string Path = "/tmp/hetsim_traceio_test.trace";
+  ASSERT_TRUE(saveTrace(Original, Path));
+  TraceBuffer Restored;
+  ASSERT_TRUE(loadTrace(Path, Restored));
+  EXPECT_TRUE(tracesEqual(Original, Restored));
+  std::remove(Path.c_str());
+}
+
+TEST(TraceIO, LoadMissingFileFails) {
+  TraceBuffer Out;
+  EXPECT_FALSE(loadTrace("/tmp/does_not_exist_hetsim.trace", Out));
+}
+
+TEST(TraceIO, RandomBytesNeverCrash) {
+  // Fuzz the deserializer: arbitrary input must be rejected, not crash.
+  XorShiftRng Rng(0xF00D);
+  for (unsigned Trial = 0; Trial != 200; ++Trial) {
+    std::string Bytes;
+    size_t Length = Rng.nextBelow(256);
+    for (size_t I = 0; I != Length; ++I)
+      Bytes.push_back(char(Rng.nextBelow(256)));
+    TraceBuffer Out;
+    // Almost surely invalid; deserialize must return false (or, if the
+    // fuzz happened to build a valid empty file, succeed gracefully).
+    deserializeTrace(Bytes, Out);
+  }
+  SUCCEED();
+}
+
+TEST(TraceIO, CorruptedHeaderCountRejected) {
+  TraceBuffer One;
+  One.emitLoad(0x100, 1, 0x40, 4);
+  std::string Bytes = serializeTrace(One);
+  Bytes[16] = 50; // Claim 50 records; body has 1.
+  TraceBuffer Out;
+  EXPECT_FALSE(deserializeTrace(Bytes, Out));
+}
+
+//===----------------------------------------------------------------------===//
+// Software coherence (GMAC runtime protocol).
+//===----------------------------------------------------------------------===//
+
+TEST(SwCoherence, FirstAccAccessMovesHostData) {
+  SoftwareCoherence Runtime;
+  Runtime.registerObject("a", 1000);
+  EXPECT_EQ(Runtime.onAccAccess("a", false), 1000u);
+  EXPECT_EQ(Runtime.state("a"), SwCohState::BothValid);
+  // Already coherent: no second copy.
+  EXPECT_EQ(Runtime.onAccAccess("a", false), 0u);
+  EXPECT_EQ(Runtime.stats().HostToDevTransfers, 1u);
+  EXPECT_EQ(Runtime.stats().AvoidedTransfers, 1u);
+}
+
+TEST(SwCoherence, AccWriteInvalidatesHostCopy) {
+  SoftwareCoherence Runtime;
+  Runtime.registerObject("c", 500, SwCohState::AccValid);
+  EXPECT_EQ(Runtime.onAccAccess("c", true), 0u); // Output: nothing to move.
+  EXPECT_EQ(Runtime.state("c"), SwCohState::AccValid);
+  // The host reading it afterwards pulls the data back.
+  EXPECT_EQ(Runtime.onHostAccess("c", false), 500u);
+  EXPECT_EQ(Runtime.state("c"), SwCohState::BothValid);
+}
+
+TEST(SwCoherence, HostWriteForcesNextAccCopy) {
+  SoftwareCoherence Runtime;
+  Runtime.registerObject("centroids", 5120, SwCohState::AccValid);
+  Runtime.onHostAccess("centroids", /*IsWrite=*/true); // Host updates.
+  EXPECT_EQ(Runtime.state("centroids"), SwCohState::HostValid);
+  EXPECT_EQ(Runtime.onAccAccess("centroids", true), 5120u);
+}
+
+TEST(SwCoherence, PingPongCountsEveryMove) {
+  SoftwareCoherence Runtime;
+  Runtime.registerObject("x", 64);
+  for (int I = 0; I != 3; ++I) {
+    Runtime.onAccAccess("x", true);
+    Runtime.onHostAccess("x", true);
+  }
+  EXPECT_EQ(Runtime.stats().HostToDevTransfers, 3u);
+  EXPECT_EQ(Runtime.stats().DevToHostTransfers, 3u);
+  EXPECT_EQ(Runtime.stats().BytesMoved, 6u * 64);
+}
+
+TEST(SwCoherence, ReadsKeepBothValid) {
+  SoftwareCoherence Runtime;
+  Runtime.registerObject("t", 128);
+  Runtime.onAccAccess("t", false);
+  Runtime.onHostAccess("t", false);
+  Runtime.onAccAccess("t", false);
+  EXPECT_EQ(Runtime.stats().HostToDevTransfers, 1u); // Only the first.
+}
+
+TEST(SwCoherenceDeath, UnknownObjectAborts) {
+  SoftwareCoherence Runtime;
+  EXPECT_DEATH(Runtime.onAccAccess("ghost", false), "unknown object");
+}
+
+TEST(SwCoherence, DrivesAdsmLoweringTransfers) {
+  // The ADSM lowering consults the runtime: k-means' "points" move once,
+  // centroids ping-pong every round.
+  SystemConfig Config = SystemConfig::forCaseStudy(CaseStudy::Gmac);
+  LoweredProgram Program = lowerKernel(KernelId::KMeans, Config);
+  EXPECT_EQ(Program.countSteps(ExecKind::Transfer), 6u);
+  // Initial sync moves points (+ nothing for the output object).
+  for (const ExecStep &Step : Program.Steps) {
+    if (Step.Kind == ExecKind::Transfer) {
+      EXPECT_EQ(Step.Bytes, 136192u);
+      break;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Stream prefetcher.
+//===----------------------------------------------------------------------===//
+
+TEST(Prefetcher, LearnsUnitStride) {
+  StreamPrefetcher Prefetcher;
+  std::vector<Addr> Got;
+  for (Addr Line = 0; Line != 16; ++Line)
+    Got = Prefetcher.onAccess(0x10000 + Line * CacheLineBytes);
+  ASSERT_EQ(Got.size(), 2u); // Default degree.
+  EXPECT_EQ(Got[0], 0x10000 + 16 * CacheLineBytes);
+  EXPECT_EQ(Got[1], 0x10000 + 17 * CacheLineBytes);
+}
+
+TEST(Prefetcher, SilentWhileTraining) {
+  StreamPrefetcher Prefetcher;
+  EXPECT_TRUE(Prefetcher.onAccess(0x1000).empty());  // Allocation.
+  EXPECT_TRUE(Prefetcher.onAccess(0x1040).empty());  // First stride.
+}
+
+TEST(Prefetcher, LearnsNegativeStride) {
+  StreamPrefetcher Prefetcher;
+  std::vector<Addr> Got;
+  for (int I = 40; I >= 20; --I)
+    Got = Prefetcher.onAccess(Addr(I) * CacheLineBytes);
+  ASSERT_FALSE(Got.empty());
+  EXPECT_EQ(Got[0], Addr(19) * CacheLineBytes);
+}
+
+TEST(Prefetcher, TracksMultipleStreams) {
+  StreamPrefetcher Prefetcher;
+  std::vector<Addr> A, B;
+  for (unsigned I = 0; I != 8; ++I) {
+    A = Prefetcher.onAccess(0x100000 + I * CacheLineBytes);
+    B = Prefetcher.onAccess(0x900000 + I * CacheLineBytes);
+  }
+  EXPECT_FALSE(A.empty());
+  EXPECT_FALSE(B.empty());
+  EXPECT_EQ(Prefetcher.stats().StreamAllocations, 2u);
+}
+
+TEST(Prefetcher, StrideChangeRetrains) {
+  StreamPrefetcher Prefetcher;
+  for (unsigned I = 0; I != 8; ++I)
+    Prefetcher.onAccess(0x10000 + I * CacheLineBytes);
+  // Switch the same region to stride 2: first irregular access must not
+  // prefetch.
+  std::vector<Addr> Got = Prefetcher.onAccess(0x10000 + 20 * CacheLineBytes);
+  EXPECT_TRUE(Got.empty());
+}
+
+TEST(Prefetcher, ReducesDramTrafficLatencyOnStreams) {
+  // End to end: a streaming CPU workload on the memory system with and
+  // without L2 prefetching; demand misses at the L2 must drop.
+  auto RunStream = [](bool Enable) {
+    MemHierConfig Config;
+    Config.EnableL2Prefetch = Enable;
+    MemorySystem Mem(Config);
+    Mem.mapRange(PuKind::Cpu, 0x10000000, 4 << 20);
+    uint64_t LatencySum = 0;
+    for (Addr Offset = 0; Offset < (2 << 20); Offset += CacheLineBytes)
+      LatencySum +=
+          Mem.access(PuKind::Cpu, 0x10000000 + Offset, 4, false, Offset)
+              .Latency;
+    return LatencySum;
+  };
+  uint64_t Without = RunStream(false);
+  uint64_t With = RunStream(true);
+  EXPECT_LT(With, Without);
+}
+
+//===----------------------------------------------------------------------===//
+// Energy model.
+//===----------------------------------------------------------------------===//
+
+TEST(Energy, ParamsFromConfig) {
+  ConfigStore Config;
+  Config.setDouble("energy.cpu_inst_pj", 123.0);
+  EnergyParams Params = EnergyParams::fromConfig(Config);
+  EXPECT_DOUBLE_EQ(Params.CpuInstPj, 123.0);
+  EXPECT_DOUBLE_EQ(Params.GpuInstPj, EnergyParams().GpuInstPj);
+}
+
+TEST(Energy, RunEnergyIsPositiveAndDecomposes) {
+  SystemConfig Config = SystemConfig::forCaseStudy(CaseStudy::CpuGpu);
+  HeteroSimulator Simulator(Config);
+  RunResult Result = Simulator.run(KernelId::Reduction);
+  EnergyReport Report =
+      computeEnergy(EnergyParams(), Simulator.memory(), Result, true);
+  EXPECT_GT(Report.CoreNj, 0.0);
+  EXPECT_GT(Report.CacheNj, 0.0);
+  EXPECT_GT(Report.DramNj, 0.0);
+  EXPECT_GT(Report.CommNj, 0.0);
+  EXPECT_NEAR(Report.totalNj(), Report.CoreNj + Report.CacheNj +
+                                    Report.DramNj + Report.NetworkNj +
+                                    Report.CommNj,
+              1e-9);
+}
+
+TEST(Energy, IdealSystemSpendsNoCommEnergyOnTransfers) {
+  SystemConfig Config = SystemConfig::forCaseStudy(CaseStudy::IdealHetero);
+  HeteroSimulator Simulator(Config);
+  RunResult Result = Simulator.run(KernelId::Reduction);
+  EnergyReport Report =
+      computeEnergy(EnergyParams(), Simulator.memory(), Result, false);
+  // No transferred bytes, no faults; comm energy is TLB walks only.
+  EXPECT_LT(Report.CommNj, Report.CoreNj / 100.0);
+}
+
+TEST(Energy, PciTransfersCostMoreThanOnChip) {
+  SystemConfig Config = SystemConfig::forCaseStudy(CaseStudy::CpuGpu);
+  HeteroSimulator Simulator(Config);
+  RunResult Result = Simulator.run(KernelId::Reduction);
+  EnergyReport Pci =
+      computeEnergy(EnergyParams(), Simulator.memory(), Result, true);
+  EnergyReport OnChip =
+      computeEnergy(EnergyParams(), Simulator.memory(), Result, false);
+  EXPECT_GT(Pci.CommNj, OnChip.CommNj);
+}
+
+TEST(Energy, SummaryMentionsTotal) {
+  EnergyReport Report;
+  Report.CoreNj = 500;
+  Report.DramNj = 500;
+  std::string Summary = Report.renderSummary();
+  EXPECT_NE(Summary.find("total 1.0uJ"), std::string::npos);
+  EXPECT_NE(Summary.find("core 50%"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Work partitioning.
+//===----------------------------------------------------------------------===//
+
+TEST(Partition, EvenSplitMatchesBaseline) {
+  SystemConfig Config = SystemConfig::forCaseStudy(CaseStudy::IdealHetero);
+  HeteroSimulator Baseline(Config);
+  RunResult Base = Baseline.run(KernelId::MergeSort);
+
+  SystemConfig Half = Config;
+  Half.CpuWorkFraction = 0.5;
+  HeteroSimulator Sim(Half);
+  RunResult R = Sim.run(KernelId::MergeSort);
+  EXPECT_DOUBLE_EQ(R.Time.totalNs(), Base.Time.totalNs());
+}
+
+TEST(Partition, ExtremesShiftWork) {
+  SystemConfig Config = SystemConfig::forCaseStudy(CaseStudy::IdealHetero);
+  Config.CpuWorkFraction = 1.0; // All work on the CPU.
+  HeteroSimulator AllCpu(Config);
+  RunResult R = AllCpu.run(KernelId::Reduction);
+  EXPECT_EQ(R.GpuTotal.Insts, 0u);
+  EXPECT_EQ(R.CpuTotal.Insts, 2u * 70006 + 99996);
+
+  Config.CpuWorkFraction = 0.0;
+  HeteroSimulator AllGpu(Config);
+  RunResult R2 = AllGpu.run(KernelId::Reduction);
+  EXPECT_EQ(R2.GpuTotal.Insts, 2u * 70001);
+  EXPECT_EQ(R2.CpuTotal.Insts, 99996u); // Serial part stays on the CPU.
+}
+
+TEST(Partition, SweepCoversRangeAndFindsMinimum) {
+  SystemConfig Config = SystemConfig::forCaseStudy(CaseStudy::IdealHetero);
+  std::vector<PartitionPoint> Points =
+      sweepPartition(Config, KernelId::MergeSort, 4);
+  ASSERT_EQ(Points.size(), 5u);
+  EXPECT_DOUBLE_EQ(Points.front().CpuFraction, 0.0);
+  EXPECT_DOUBLE_EQ(Points.back().CpuFraction, 1.0);
+
+  PartitionPoint Best = findBestPartition(Config, KernelId::MergeSort, 4);
+  for (const PartitionPoint &Point : Points)
+    EXPECT_LE(Best.TotalNs, Point.TotalNs + 1e-9);
+}
+
+TEST(Partition, OverrideKeyApplies) {
+  ConfigStore Overrides;
+  Overrides.setDouble("sys.cpu_work_fraction", 0.25);
+  SystemConfig Config =
+      SystemConfig::forCaseStudy(CaseStudy::IdealHetero, Overrides);
+  EXPECT_DOUBLE_EQ(Config.CpuWorkFraction, 0.25);
+}
+
+TEST(Partition, OverrideClamped) {
+  ConfigStore Overrides;
+  Overrides.setDouble("sys.cpu_work_fraction", 1.5);
+  SystemConfig Config =
+      SystemConfig::forCaseStudy(CaseStudy::IdealHetero, Overrides);
+  EXPECT_DOUBLE_EQ(Config.CpuWorkFraction, 1.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Extra workloads.
+//===----------------------------------------------------------------------===//
+
+class ExtraWorkloadTest : public ::testing::TestWithParam<ExtraWorkloadId> {};
+
+TEST_P(ExtraWorkloadTest, BuildsAndRunsOnDisjointSystem) {
+  SystemConfig Config = SystemConfig::forCaseStudy(CaseStudy::CpuGpu);
+  LoweredProgram Program = buildExtraWorkload(GetParam(), Config, 8192);
+  EXPECT_EQ(Program.countSteps(ExecKind::Transfer), 2u);
+  EXPECT_EQ(Program.countSteps(ExecKind::ParallelCompute), 1u);
+  HeteroSimulator Sim(Config);
+  RunResult R = Sim.runLowered(Program);
+  EXPECT_GT(R.Time.ParallelNs, 0.0);
+  EXPECT_GT(R.Time.CommunicationNs, 0.0);
+  EXPECT_GT(R.TransferredBytes, 0u);
+}
+
+TEST_P(ExtraWorkloadTest, UnifiedSystemNeedsNoTransfers) {
+  SystemConfig Config = SystemConfig::forCaseStudy(CaseStudy::IdealHetero);
+  LoweredProgram Program = buildExtraWorkload(GetParam(), Config, 8192);
+  EXPECT_EQ(Program.countSteps(ExecKind::Transfer), 0u);
+  HeteroSimulator Sim(Config);
+  RunResult R = Sim.runLowered(Program);
+  EXPECT_DOUBLE_EQ(R.Time.CommunicationNs, 0.0);
+}
+
+TEST_P(ExtraWorkloadTest, AccessesStayInsidePlacedObjects) {
+  SystemConfig Config = SystemConfig::forCaseStudy(CaseStudy::CpuGpu);
+  LoweredProgram Program = buildExtraWorkload(GetParam(), Config, 4096);
+  for (const ExecStep &Step : Program.Steps) {
+    if (Step.Kind != ExecKind::ParallelCompute)
+      continue;
+    for (const TraceRecord &R : Step.CpuTrace) {
+      if (isGlobalMemoryOp(R.Op)) {
+        EXPECT_NE(Program.Place.CpuLayout.segmentContaining(R.MemAddr),
+                  nullptr);
+      }
+    }
+    for (const TraceRecord &R : Step.GpuTrace) {
+      if (isGlobalMemoryOp(R.Op)) {
+        EXPECT_NE(Program.Place.GpuLayout.segmentContaining(R.MemAddr),
+                  nullptr);
+      }
+    }
+  }
+}
+
+TEST_P(ExtraWorkloadTest, Deterministic) {
+  SystemConfig Config = SystemConfig::forCaseStudy(CaseStudy::Fusion);
+  HeteroSimulator Sim(Config);
+  RunResult A =
+      Sim.runLowered(buildExtraWorkload(GetParam(), Config, 8192));
+  RunResult B =
+      Sim.runLowered(buildExtraWorkload(GetParam(), Config, 8192));
+  EXPECT_DOUBLE_EQ(A.Time.totalNs(), B.Time.totalNs());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllExtra, ExtraWorkloadTest,
+                         ::testing::ValuesIn(allExtraWorkloads()));
+
+TEST(ExtraWorkload, LargerProblemsLowerCommFraction) {
+  SystemConfig Config = SystemConfig::forCaseStudy(CaseStudy::CpuGpu);
+  HeteroSimulator Sim(Config);
+  RunResult Small = Sim.runLowered(
+      buildExtraWorkload(ExtraWorkloadId::StreamTriad, Config, 4096));
+  RunResult Large = Sim.runLowered(
+      buildExtraWorkload(ExtraWorkloadId::StreamTriad, Config, 262144));
+  EXPECT_GT(Small.Time.commFraction(), Large.Time.commFraction());
+}
+
+//===----------------------------------------------------------------------===//
+// Interleaved-contention mode.
+//===----------------------------------------------------------------------===//
+
+TEST(Interleaved, MatchesDefaultModeClosely) {
+  // The interleaving changes uncore access order, not the workload; totals
+  // must agree within a few percent.
+  ConfigStore On;
+  On.setBool("sys.interleaved_contention", true);
+  HeteroSimulator Default(SystemConfig::forCaseStudy(CaseStudy::IdealHetero));
+  HeteroSimulator Inter(
+      SystemConfig::forCaseStudy(CaseStudy::IdealHetero, On));
+  RunResult A = Default.run(KernelId::MergeSort);
+  RunResult B = Inter.run(KernelId::MergeSort);
+  EXPECT_NEAR(B.Time.totalNs() / A.Time.totalNs(), 1.0, 0.08);
+  EXPECT_EQ(A.CpuTotal.Insts, B.CpuTotal.Insts);
+  EXPECT_EQ(A.GpuTotal.Insts, B.GpuTotal.Insts);
+}
+
+TEST(Interleaved, Deterministic) {
+  ConfigStore On;
+  On.setBool("sys.interleaved_contention", true);
+  HeteroSimulator Sim(SystemConfig::forCaseStudy(CaseStudy::Fusion, On));
+  RunResult A = Sim.run(KernelId::Reduction);
+  RunResult B = Sim.run(KernelId::Reduction);
+  EXPECT_DOUBLE_EQ(A.Time.totalNs(), B.Time.totalNs());
+}
+
+TEST(Interleaved, SliceSizeDoesNotChangeWorkDone) {
+  ConfigStore On;
+  On.setBool("sys.interleaved_contention", true);
+  SystemConfig Config =
+      SystemConfig::forCaseStudy(CaseStudy::IdealHetero, On);
+  Config.ContentionSliceRecords = 512;
+  HeteroSimulator Small(Config);
+  Config.ContentionSliceRecords = 16384;
+  HeteroSimulator Large(Config);
+  RunResult A = Small.run(KernelId::MergeSort);
+  RunResult B = Large.run(KernelId::MergeSort);
+  EXPECT_EQ(A.CpuTotal.MemAccesses, B.CpuTotal.MemAccesses);
+  EXPECT_EQ(A.GpuTotal.MemAccesses, B.GpuTotal.MemAccesses);
+}
+
+//===----------------------------------------------------------------------===//
+// Config-file loading.
+//===----------------------------------------------------------------------===//
+
+TEST(ConfigFile, LoadsAssignments) {
+  std::string Path = "/tmp/hetsim_config_test.cfg";
+  std::FILE *File = std::fopen(Path.c_str(), "w");
+  ASSERT_NE(File, nullptr);
+  std::fputs("# comment\ncomm.lib_pf = 777\nmem.gpu_page_bytes = 8192\n",
+             File);
+  std::fclose(File);
+
+  ConfigStore Config;
+  ASSERT_TRUE(Config.loadFile(Path));
+  EXPECT_EQ(Config.getInt("comm.lib_pf", 0), 777);
+  EXPECT_EQ(Config.getInt("mem.gpu_page_bytes", 0), 8192);
+  std::remove(Path.c_str());
+}
+
+TEST(ConfigFile, MissingFileFails) {
+  ConfigStore Config;
+  EXPECT_FALSE(Config.loadFile("/tmp/definitely_missing_hetsim.cfg"));
+}

@@ -1,0 +1,154 @@
+//===- tests/interconnect_test.cpp - interconnect/ unit tests -------------===//
+
+#include "interconnect/RingBus.h"
+
+#include <gtest/gtest.h>
+
+using namespace hetsim;
+
+TEST(RingBus, HopCountsTakeShorterDirection) {
+  RingBus Ring; // 7 stops.
+  EXPECT_EQ(Ring.hopCount(0, 0), 0u);
+  EXPECT_EQ(Ring.hopCount(0, 1), 1u);
+  EXPECT_EQ(Ring.hopCount(0, 3), 3u);
+  EXPECT_EQ(Ring.hopCount(0, 4), 3u); // Counter-clockwise: 7-4=3.
+  EXPECT_EQ(Ring.hopCount(0, 6), 1u); // Wraps.
+  EXPECT_EQ(Ring.hopCount(6, 0), 1u); // Symmetric.
+}
+
+TEST(RingBus, HopCountSymmetry) {
+  RingConfig Config;
+  Config.NumStops = 8;
+  RingBus Ring(Config);
+  for (unsigned A = 0; A != 8; ++A)
+    for (unsigned B = 0; B != 8; ++B)
+      EXPECT_EQ(Ring.hopCount(A, B), Ring.hopCount(B, A));
+}
+
+TEST(RingBus, UncontendedTraverseLatency) {
+  RingBus Ring;
+  Cycle Arrival = Ring.traverse(ring::CpuStop, ring::L3Tile0, 100);
+  EXPECT_EQ(Arrival, 100u + Ring.hopCount(ring::CpuStop, ring::L3Tile0));
+}
+
+TEST(RingBus, InjectionPortSerializesBackToBack) {
+  RingBus Ring;
+  Cycle First = Ring.traverse(0, 3, 50);
+  Cycle Second = Ring.traverse(0, 3, 50); // Same cycle, same port.
+  EXPECT_EQ(Second, First + Ring.config().InjectOccupancy);
+  EXPECT_EQ(Ring.stats().ContentionCycles, Ring.config().InjectOccupancy);
+}
+
+TEST(RingBus, DifferentPortsDoNotContend) {
+  RingBus Ring;
+  Cycle A = Ring.traverse(0, 3, 50);
+  Cycle B = Ring.traverse(1, 3, 50);
+  EXPECT_EQ(A, 50u + 3);
+  EXPECT_EQ(B, 50u + 2);
+  EXPECT_EQ(Ring.stats().ContentionCycles, 0u);
+}
+
+TEST(RingBus, QueueDelayCapped) {
+  RingConfig Config;
+  Config.MaxQueueDelay = 16;
+  RingBus Ring(Config);
+  Ring.traverse(0, 1, 1000000); // Ratchets port 0 far into the future.
+  Cycle Arrival = Ring.traverse(0, 1, 0);
+  EXPECT_LE(Arrival, 0u + Config.MaxQueueDelay + Config.HopLatency);
+}
+
+TEST(RingBus, RoundTrip) {
+  RingBus Ring;
+  EXPECT_EQ(Ring.roundTripLatency(ring::CpuStop, ring::MemCtrlStop),
+            2u * Ring.hopCount(ring::CpuStop, ring::MemCtrlStop));
+}
+
+TEST(RingBus, TileInterleaving) {
+  RingBus Ring;
+  EXPECT_EQ(Ring.tileStopFor(0 * 64), ring::L3Tile0 + 0);
+  EXPECT_EQ(Ring.tileStopFor(1 * 64), ring::L3Tile0 + 1);
+  EXPECT_EQ(Ring.tileStopFor(2 * 64), ring::L3Tile0 + 2);
+  EXPECT_EQ(Ring.tileStopFor(3 * 64), ring::L3Tile0 + 3);
+  EXPECT_EQ(Ring.tileStopFor(4 * 64), ring::L3Tile0 + 0);
+  // Same-line offsets map to the same tile.
+  EXPECT_EQ(Ring.tileStopFor(32), Ring.tileStopFor(0));
+}
+
+TEST(RingBus, StatsAndReset) {
+  RingBus Ring;
+  Ring.traverse(0, 2, 0);
+  Ring.traverse(0, 2, 0);
+  EXPECT_EQ(Ring.stats().Messages, 2u);
+  EXPECT_EQ(Ring.stats().TotalHops, 4u);
+  Ring.resetStats();
+  EXPECT_EQ(Ring.stats().Messages, 0u);
+  // Port state also cleared: no contention after reset.
+  Ring.traverse(0, 2, 0);
+  EXPECT_EQ(Ring.stats().ContentionCycles, 0u);
+}
+
+TEST(RingBusDeath, TooFewStopsAborts) {
+  RingConfig Config;
+  Config.NumStops = 1;
+  EXPECT_DEATH(RingBus Ring(Config), "at least two stops");
+}
+
+//===----------------------------------------------------------------------===//
+// 2D mesh NoC.
+//===----------------------------------------------------------------------===//
+
+#include "interconnect/MeshNoc.h"
+
+TEST(MeshNoc, ManhattanHopCounts) {
+  MeshNoc Mesh; // 3x3, row-major stops.
+  // Stop 0 = (0,0), stop 4 = (1,1), stop 8 = (2,2).
+  EXPECT_EQ(Mesh.hopCount(0, 0), 0u);
+  EXPECT_EQ(Mesh.hopCount(0, 1), 1u);
+  EXPECT_EQ(Mesh.hopCount(0, 4), 2u);
+  EXPECT_EQ(Mesh.hopCount(0, 8), 4u);
+  EXPECT_EQ(Mesh.hopCount(2, 6), 4u); // (2,0) -> (0,2).
+}
+
+TEST(MeshNoc, HopSymmetry) {
+  MeshNoc Mesh;
+  for (unsigned A = 0; A != 9; ++A)
+    for (unsigned B = 0; B != 9; ++B)
+      EXPECT_EQ(Mesh.hopCount(A, B), Mesh.hopCount(B, A));
+}
+
+TEST(MeshNoc, TraverseAndContention) {
+  MeshNoc Mesh;
+  Cycle First = Mesh.traverse(0, 8, 10);
+  EXPECT_EQ(First, 10u + 4);
+  Cycle Second = Mesh.traverse(0, 8, 10); // Same injection port.
+  EXPECT_EQ(Second, First + Mesh.config().InjectOccupancy);
+}
+
+TEST(MeshNoc, CoordinateHelpers) {
+  MeshNoc Mesh;
+  EXPECT_EQ(Mesh.xOf(5), 2u);
+  EXPECT_EQ(Mesh.yOf(5), 1u);
+}
+
+TEST(MeshNoc, TileMappingMatchesRingNumbering) {
+  MeshNoc Mesh;
+  RingBus Ring;
+  for (Addr Line = 0; Line != 8 * 64; Line += 64)
+    EXPECT_EQ(Mesh.tileStopFor(Line), Ring.tileStopFor(Line));
+}
+
+TEST(MeshNoc, WorksAsMemorySystemNoc) {
+  // Just topology plumbing: both topologies name themselves correctly.
+  MeshNoc Mesh;
+  RingBus Ring;
+  EXPECT_STREQ(Mesh.name(), "mesh");
+  EXPECT_STREQ(Ring.name(), "ring");
+  Interconnect *Noc = &Mesh;
+  EXPECT_EQ(Noc->roundTripLatency(0, 8), 8u);
+}
+
+TEST(MeshNocDeath, EmptyMeshAborts) {
+  MeshConfig Config;
+  Config.Width = 0;
+  EXPECT_DEATH(MeshNoc Mesh(Config), "at least two nodes");
+}

@@ -1,0 +1,345 @@
+//===- tools/hetsim_cli.cpp - Command-line front end ----------------------===//
+///
+/// \file
+/// The `hetsim` command-line tool: run any (system, kernel) pair with
+/// config overrides, print the paper's tables, or sweep a parameter —
+/// without writing C++.
+///
+///   hetsim list
+///   hetsim run --system LRB --kernel reduction [key=value ...]
+///   hetsim table 1|2|3|4|5
+///   hetsim sweep --system CPU+GPU --kernel "merge sort"
+///       --key comm.api_pci_base --values 0,10000,33250,100000
+///
+//===----------------------------------------------------------------------===//
+
+#include "common/StringUtil.h"
+#include "core/Experiments.h"
+#include "core/ExtraWorkloads.h"
+#include "energy/EnergyModel.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace hetsim;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  hetsim list\n"
+      "  hetsim run --system <name> --kernel <name> [--config file]\n"
+      "         [key=value ...]\n"
+      "  hetsim compare --kernel <name> [key=value ...]\n"
+      "  hetsim extra --system <name> --workload <name> [--elements N]\n"
+      "  hetsim table <1|2|3|4|5>\n"
+      "  hetsim sweep --system <name> --kernel <name> --key <config-key>\n"
+      "         --values v1,v2,... [key=value ...]\n"
+      "systems: CPU+GPU LRB GMAC Fusion IDEAL-HETERO UNI PAS DIS ADSM\n");
+  return 2;
+}
+
+bool systemByName(const std::string &Name, SystemConfig &Out,
+                  const ConfigStore &Overrides) {
+  for (CaseStudy Study : allCaseStudies()) {
+    if (Name == caseStudyName(Study)) {
+      Out = SystemConfig::forCaseStudy(Study, Overrides);
+      return true;
+    }
+  }
+  static const AddressSpaceKind Kinds[] = {
+      AddressSpaceKind::Unified, AddressSpaceKind::PartiallyShared,
+      AddressSpaceKind::Disjoint, AddressSpaceKind::Adsm};
+  for (AddressSpaceKind Kind : Kinds) {
+    if (Name == addressSpaceShortName(Kind)) {
+      Out = SystemConfig::forAddressSpaceStudy(Kind, Overrides);
+      return true;
+    }
+  }
+  return false;
+}
+
+void printRun(const SystemConfig &Config, KernelId Kernel,
+              bool DumpStats) {
+  HeteroSimulator Simulator(Config);
+  RunResult Result = Simulator.run(Kernel);
+  const TimeBreakdown &T = Result.Time;
+  std::printf("%s / %s\n", Config.Name.c_str(), kernelName(Kernel));
+  std::printf("  total          %10.2f us\n", T.totalNs() / 1e3);
+  std::printf("  sequential     %10.2f us\n", T.SequentialNs / 1e3);
+  std::printf("  parallel       %10.2f us\n", T.ParallelNs / 1e3);
+  std::printf("  communication  %10.2f us (%.1f%%)\n",
+              T.CommunicationNs / 1e3, 100.0 * T.commFraction());
+  std::printf("  cpu insts %llu (IPC %.2f), gpu warp insts %llu\n",
+              (unsigned long long)Result.CpuTotal.Insts,
+              Result.CpuTotal.ipc(),
+              (unsigned long long)Result.GpuTotal.Insts);
+  CpiStack Stack = computeCpiStack(Result.CpuTotal, Config.Cpu);
+  std::printf("  cpu CPI %.2f = base %.2f + branch %.2f + fetch %.2f + "
+              "mem/dep %.2f\n",
+              Stack.totalCpi(), Stack.BaseCpi, Stack.BranchCpi,
+              Stack.FetchCpi, Stack.MemDepCpi);
+  std::printf("  transferred %llu B in %llu copies; page faults %llu; "
+              "ownership actions %llu\n",
+              (unsigned long long)Result.TransferredBytes,
+              (unsigned long long)Result.TransferCount,
+              (unsigned long long)Result.PageFaults,
+              (unsigned long long)Result.OwnershipActions);
+  std::printf("  comm source lines: %u\n", Result.CommSourceLines);
+
+  bool Pci = Config.Connection == ConnectionKind::PciExpress;
+  EnergyReport Energy = computeEnergy(EnergyParams(), Simulator.memory(),
+                                      Result, Pci);
+  std::printf("  energy: %s\n", Energy.renderSummary().c_str());
+
+  if (DumpStats) {
+    MemorySystem &Mem = Simulator.memory();
+    std::printf("\nmemory-system counters:\n%s",
+                Mem.stats().renderCounters().c_str());
+    std::printf("cpu.l1d: acc=%llu hit=%.3f  cpu.l2: acc=%llu hit=%.3f  "
+                "gpu.l1: acc=%llu hit=%.3f  l3: acc=%llu hit=%.3f\n",
+                (unsigned long long)Mem.cpuL1().stats().Accesses,
+                Mem.cpuL1().stats().hitRate(),
+                (unsigned long long)Mem.cpuL2().stats().Accesses,
+                Mem.cpuL2().stats().hitRate(),
+                (unsigned long long)Mem.gpuL1().stats().Accesses,
+                Mem.gpuL1().stats().hitRate(),
+                (unsigned long long)Mem.l3().stats().Accesses,
+                Mem.l3().stats().hitRate());
+    std::printf("dram: reads=%llu writes=%llu row-hit=%.3f  noc(%s): "
+                "msgs=%llu hops=%llu\n",
+                (unsigned long long)Mem.cpuDram().stats().Reads,
+                (unsigned long long)Mem.cpuDram().stats().Writes,
+                Mem.cpuDram().stats().rowHitRate(), Mem.noc().name(),
+                (unsigned long long)Mem.noc().stats().Messages,
+                (unsigned long long)Mem.noc().stats().TotalHops);
+    std::printf("tlb: cpu-miss=%llu gpu-miss=%llu\n",
+                (unsigned long long)Mem.tlb(PuKind::Cpu).stats().Misses,
+                (unsigned long long)Mem.tlb(PuKind::Gpu).stats().Misses);
+  }
+}
+
+int cmdList() {
+  std::printf("kernels:\n");
+  for (KernelId Kernel : allKernels())
+    std::printf("  %-12s %s\n", kernelName(Kernel),
+                kernelCharacteristics(Kernel).Pattern);
+  std::printf("case-study systems:\n");
+  for (CaseStudy Study : allCaseStudies())
+    std::printf("  %s\n", caseStudyName(Study));
+  std::printf("address-space studies (ideal comm): UNI PAS DIS ADSM\n");
+  std::printf("extra workloads:");
+  for (ExtraWorkloadId Id : allExtraWorkloads())
+    std::printf(" \"%s\"", extraWorkloadName(Id));
+  std::printf("\n");
+  return 0;
+}
+
+int cmdTable(const std::string &Which) {
+  if (Which == "1") {
+    std::printf("%s", renderTable1().render().c_str());
+    return 0;
+  }
+  if (Which == "2") {
+    std::printf("%s",
+                renderTable2(SystemConfig::forCaseStudy(CaseStudy::IdealHetero))
+                    .render()
+                    .c_str());
+    return 0;
+  }
+  if (Which == "3") {
+    std::printf("%s", renderTable3().render().c_str());
+    return 0;
+  }
+  if (Which == "4") {
+    std::printf("%s", renderTable4(CommParams()).render().c_str());
+    return 0;
+  }
+  if (Which == "5") {
+    std::printf("%s", renderTable5().render().c_str());
+    return 0;
+  }
+  return usage();
+}
+
+struct ParsedArgs {
+  std::string System;
+  std::string Kernel;
+  std::string Workload;
+  uint64_t Elements = 65536;
+  std::string SweepKey;
+  std::vector<std::string> SweepValues;
+  ConfigStore Overrides;
+  bool DumpStats = false;
+  bool Ok = true;
+};
+
+ParsedArgs parseArgs(int Argc, char **Argv, int Start) {
+  ParsedArgs Args;
+  for (int I = Start; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto TakeValue = [&](std::string &Out) {
+      if (I + 1 >= Argc) {
+        Args.Ok = false;
+        return;
+      }
+      Out = Argv[++I];
+    };
+    if (Arg == "--system") {
+      TakeValue(Args.System);
+    } else if (Arg == "--config") {
+      std::string Path;
+      TakeValue(Path);
+      if (!Path.empty() && !Args.Overrides.loadFile(Path)) {
+        std::fprintf(stderr, "error: cannot read config file '%s'\n",
+                     Path.c_str());
+        Args.Ok = false;
+      }
+    } else if (Arg == "--kernel") {
+      TakeValue(Args.Kernel);
+    } else if (Arg == "--workload") {
+      TakeValue(Args.Workload);
+    } else if (Arg == "--elements") {
+      std::string Value;
+      TakeValue(Value);
+      Args.Elements = std::strtoull(Value.c_str(), nullptr, 0);
+    } else if (Arg == "--stats") {
+      Args.DumpStats = true;
+    } else if (Arg == "--key") {
+      TakeValue(Args.SweepKey);
+    } else if (Arg == "--values") {
+      std::string Joined;
+      TakeValue(Joined);
+      Args.SweepValues = splitString(Joined, ',');
+    } else if (Arg.find('=') != std::string::npos) {
+      if (!Args.Overrides.parseAssignment(Arg))
+        Args.Ok = false;
+    } else {
+      Args.Ok = false;
+    }
+  }
+  return Args;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    return usage();
+  std::string Command = Argv[1];
+
+  if (Command == "list")
+    return cmdList();
+  if (Command == "table")
+    return Argc >= 3 ? cmdTable(Argv[2]) : usage();
+
+  if (Command == "extra") {
+    ParsedArgs Args = parseArgs(Argc, Argv, 2);
+    if (!Args.Ok || Args.System.empty() || Args.Workload.empty() ||
+        Args.Elements < 64)
+      return usage();
+    SystemConfig Config;
+    if (!systemByName(Args.System, Config, Args.Overrides)) {
+      std::fprintf(stderr, "error: unknown system '%s'\n",
+                   Args.System.c_str());
+      return 2;
+    }
+    for (ExtraWorkloadId Id : allExtraWorkloads()) {
+      if (Args.Workload != extraWorkloadName(Id))
+        continue;
+      HeteroSimulator Simulator(Config);
+      LoweredProgram Program =
+          buildExtraWorkload(Id, Config, Args.Elements);
+      RunResult R = Simulator.runLowered(Program);
+      std::printf("%s / %s (%llu elements)\n", Config.Name.c_str(),
+                  extraWorkloadName(Id),
+                  (unsigned long long)Args.Elements);
+      std::printf("  total %0.2f us (par %0.2f, comm %0.2f, seq %0.2f); "
+                  "moved %llu bytes\n",
+                  R.Time.totalNs() / 1e3, R.Time.ParallelNs / 1e3,
+                  R.Time.CommunicationNs / 1e3, R.Time.SequentialNs / 1e3,
+                  (unsigned long long)R.TransferredBytes);
+      return 0;
+    }
+    std::fprintf(stderr, "error: unknown workload '%s'\n",
+                 Args.Workload.c_str());
+    return 2;
+  }
+
+  if (Command == "compare") {
+    ParsedArgs Args = parseArgs(Argc, Argv, 2);
+    if (!Args.Ok || Args.Kernel.empty())
+      return usage();
+    KernelId Kernel;
+    if (!kernelByName(Args.Kernel.c_str(), Kernel)) {
+      std::fprintf(stderr, "error: unknown kernel '%s'\n",
+                   Args.Kernel.c_str());
+      return 2;
+    }
+    std::printf("%-14s %10s %10s %10s %10s %9s %6s\n", "system", "total_us",
+                "seq_us", "par_us", "comm_us", "comm_frac", "lines");
+    for (CaseStudy Study : allCaseStudies()) {
+      SystemConfig Config = SystemConfig::forCaseStudy(Study, Args.Overrides);
+      HeteroSimulator Simulator(Config);
+      RunResult R = Simulator.run(Kernel);
+      std::printf("%-14s %10.1f %10.1f %10.1f %10.1f %8.1f%% %6u\n",
+                  Config.Name.c_str(), R.Time.totalNs() / 1e3,
+                  R.Time.SequentialNs / 1e3, R.Time.ParallelNs / 1e3,
+                  R.Time.CommunicationNs / 1e3,
+                  100.0 * R.Time.commFraction(), R.CommSourceLines);
+    }
+    return 0;
+  }
+
+  if (Command == "run" || Command == "sweep") {
+    ParsedArgs Args = parseArgs(Argc, Argv, 2);
+    if (!Args.Ok || Args.System.empty() || Args.Kernel.empty())
+      return usage();
+    KernelId Kernel;
+    if (!kernelByName(Args.Kernel.c_str(), Kernel)) {
+      std::fprintf(stderr, "error: unknown kernel '%s'\n",
+                   Args.Kernel.c_str());
+      return 2;
+    }
+
+    if (Command == "run") {
+      SystemConfig Config;
+      if (!systemByName(Args.System, Config, Args.Overrides)) {
+        std::fprintf(stderr, "error: unknown system '%s'\n",
+                     Args.System.c_str());
+        return 2;
+      }
+      printRun(Config, Kernel, Args.DumpStats);
+      return 0;
+    }
+
+    // sweep
+    if (Args.SweepKey.empty() || Args.SweepValues.empty())
+      return usage();
+    std::printf("%-16s %12s %12s %12s\n", Args.SweepKey.c_str(), "total_us",
+                "comm_us", "comm_frac");
+    for (const std::string &Value : Args.SweepValues) {
+      ConfigStore Overrides = Args.Overrides;
+      Overrides.set(Args.SweepKey, Value);
+      SystemConfig Config;
+      if (!systemByName(Args.System, Config, Overrides)) {
+        std::fprintf(stderr, "error: unknown system '%s'\n",
+                     Args.System.c_str());
+        return 2;
+      }
+      HeteroSimulator Simulator(Config);
+      RunResult Result = Simulator.run(Kernel);
+      std::printf("%-16s %12.2f %12.2f %11.1f%%\n", Value.c_str(),
+                  Result.Time.totalNs() / 1e3,
+                  Result.Time.CommunicationNs / 1e3,
+                  100.0 * Result.Time.commFraction());
+    }
+    return 0;
+  }
+
+  return usage();
+}
