@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_comm_latency.dir/ablation_comm_latency.cpp.o"
+  "CMakeFiles/ablation_comm_latency.dir/ablation_comm_latency.cpp.o.d"
+  "ablation_comm_latency"
+  "ablation_comm_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_comm_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

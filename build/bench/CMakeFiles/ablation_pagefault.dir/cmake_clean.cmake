@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pagefault.dir/ablation_pagefault.cpp.o"
+  "CMakeFiles/ablation_pagefault.dir/ablation_pagefault.cpp.o.d"
+  "ablation_pagefault"
+  "ablation_pagefault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pagefault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_warps.dir/ablation_warps.cpp.o"
+  "CMakeFiles/ablation_warps.dir/ablation_warps.cpp.o.d"
+  "ablation_warps"
+  "ablation_warps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_warps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

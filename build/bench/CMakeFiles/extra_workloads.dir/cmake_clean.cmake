@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_workloads.dir/extra_workloads.cpp.o"
+  "CMakeFiles/extra_workloads.dir/extra_workloads.cpp.o.d"
+  "extra_workloads"
+  "extra_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_survey.dir/table1_survey.cpp.o"
+  "CMakeFiles/table1_survey.dir/table1_survey.cpp.o.d"
+  "table1_survey"
+  "table1_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_comm_params.dir/table4_comm_params.cpp.o"
+  "CMakeFiles/table4_comm_params.dir/table4_comm_params.cpp.o.d"
+  "table4_comm_params"
+  "table4_comm_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_comm_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

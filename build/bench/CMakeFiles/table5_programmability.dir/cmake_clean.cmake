@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_programmability.dir/table5_programmability.cpp.o"
+  "CMakeFiles/table5_programmability.dir/table5_programmability.cpp.o.d"
+  "table5_programmability"
+  "table5_programmability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_programmability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locality_explorer.dir/locality_explorer.cpp.o"
+  "CMakeFiles/locality_explorer.dir/locality_explorer.cpp.o.d"
+  "locality_explorer"
+  "locality_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locality_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("trace")
+subdirs("cache")
+subdirs("dram")
+subdirs("interconnect")
+subdirs("memory")
+subdirs("cpu")
+subdirs("gpu")
+subdirs("comm")
+subdirs("core")
+subdirs("energy")

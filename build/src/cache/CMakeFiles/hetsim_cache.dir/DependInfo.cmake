@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/Cache.cpp" "src/cache/CMakeFiles/hetsim_cache.dir/Cache.cpp.o" "gcc" "src/cache/CMakeFiles/hetsim_cache.dir/Cache.cpp.o.d"
+  "/root/repo/src/cache/Directory.cpp" "src/cache/CMakeFiles/hetsim_cache.dir/Directory.cpp.o" "gcc" "src/cache/CMakeFiles/hetsim_cache.dir/Directory.cpp.o.d"
+  "/root/repo/src/cache/Mshr.cpp" "src/cache/CMakeFiles/hetsim_cache.dir/Mshr.cpp.o" "gcc" "src/cache/CMakeFiles/hetsim_cache.dir/Mshr.cpp.o.d"
+  "/root/repo/src/cache/Scratchpad.cpp" "src/cache/CMakeFiles/hetsim_cache.dir/Scratchpad.cpp.o" "gcc" "src/cache/CMakeFiles/hetsim_cache.dir/Scratchpad.cpp.o.d"
+  "/root/repo/src/cache/StreamPrefetcher.cpp" "src/cache/CMakeFiles/hetsim_cache.dir/StreamPrefetcher.cpp.o" "gcc" "src/cache/CMakeFiles/hetsim_cache.dir/StreamPrefetcher.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hetsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

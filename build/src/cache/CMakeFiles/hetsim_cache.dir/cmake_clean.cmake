@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsim_cache.dir/Cache.cpp.o"
+  "CMakeFiles/hetsim_cache.dir/Cache.cpp.o.d"
+  "CMakeFiles/hetsim_cache.dir/Directory.cpp.o"
+  "CMakeFiles/hetsim_cache.dir/Directory.cpp.o.d"
+  "CMakeFiles/hetsim_cache.dir/Mshr.cpp.o"
+  "CMakeFiles/hetsim_cache.dir/Mshr.cpp.o.d"
+  "CMakeFiles/hetsim_cache.dir/Scratchpad.cpp.o"
+  "CMakeFiles/hetsim_cache.dir/Scratchpad.cpp.o.d"
+  "CMakeFiles/hetsim_cache.dir/StreamPrefetcher.cpp.o"
+  "CMakeFiles/hetsim_cache.dir/StreamPrefetcher.cpp.o.d"
+  "libhetsim_cache.a"
+  "libhetsim_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsim_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

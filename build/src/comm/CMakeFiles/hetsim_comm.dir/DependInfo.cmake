@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/CommParams.cpp" "src/comm/CMakeFiles/hetsim_comm.dir/CommParams.cpp.o" "gcc" "src/comm/CMakeFiles/hetsim_comm.dir/CommParams.cpp.o.d"
+  "/root/repo/src/comm/DmaEngine.cpp" "src/comm/CMakeFiles/hetsim_comm.dir/DmaEngine.cpp.o" "gcc" "src/comm/CMakeFiles/hetsim_comm.dir/DmaEngine.cpp.o.d"
+  "/root/repo/src/comm/MemControllerLink.cpp" "src/comm/CMakeFiles/hetsim_comm.dir/MemControllerLink.cpp.o" "gcc" "src/comm/CMakeFiles/hetsim_comm.dir/MemControllerLink.cpp.o.d"
+  "/root/repo/src/comm/PciAperture.cpp" "src/comm/CMakeFiles/hetsim_comm.dir/PciAperture.cpp.o" "gcc" "src/comm/CMakeFiles/hetsim_comm.dir/PciAperture.cpp.o.d"
+  "/root/repo/src/comm/PciExpressLink.cpp" "src/comm/CMakeFiles/hetsim_comm.dir/PciExpressLink.cpp.o" "gcc" "src/comm/CMakeFiles/hetsim_comm.dir/PciExpressLink.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hetsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/hetsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/hetsim_dram.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsim_comm.dir/CommParams.cpp.o"
+  "CMakeFiles/hetsim_comm.dir/CommParams.cpp.o.d"
+  "CMakeFiles/hetsim_comm.dir/DmaEngine.cpp.o"
+  "CMakeFiles/hetsim_comm.dir/DmaEngine.cpp.o.d"
+  "CMakeFiles/hetsim_comm.dir/MemControllerLink.cpp.o"
+  "CMakeFiles/hetsim_comm.dir/MemControllerLink.cpp.o.d"
+  "CMakeFiles/hetsim_comm.dir/PciAperture.cpp.o"
+  "CMakeFiles/hetsim_comm.dir/PciAperture.cpp.o.d"
+  "CMakeFiles/hetsim_comm.dir/PciExpressLink.cpp.o"
+  "CMakeFiles/hetsim_comm.dir/PciExpressLink.cpp.o.d"
+  "libhetsim_comm.a"
+  "libhetsim_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsim_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

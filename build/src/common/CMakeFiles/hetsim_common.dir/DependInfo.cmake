@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/AsciiChart.cpp" "src/common/CMakeFiles/hetsim_common.dir/AsciiChart.cpp.o" "gcc" "src/common/CMakeFiles/hetsim_common.dir/AsciiChart.cpp.o.d"
+  "/root/repo/src/common/Config.cpp" "src/common/CMakeFiles/hetsim_common.dir/Config.cpp.o" "gcc" "src/common/CMakeFiles/hetsim_common.dir/Config.cpp.o.d"
+  "/root/repo/src/common/Error.cpp" "src/common/CMakeFiles/hetsim_common.dir/Error.cpp.o" "gcc" "src/common/CMakeFiles/hetsim_common.dir/Error.cpp.o.d"
+  "/root/repo/src/common/Log.cpp" "src/common/CMakeFiles/hetsim_common.dir/Log.cpp.o" "gcc" "src/common/CMakeFiles/hetsim_common.dir/Log.cpp.o.d"
+  "/root/repo/src/common/Stats.cpp" "src/common/CMakeFiles/hetsim_common.dir/Stats.cpp.o" "gcc" "src/common/CMakeFiles/hetsim_common.dir/Stats.cpp.o.d"
+  "/root/repo/src/common/StringUtil.cpp" "src/common/CMakeFiles/hetsim_common.dir/StringUtil.cpp.o" "gcc" "src/common/CMakeFiles/hetsim_common.dir/StringUtil.cpp.o.d"
+  "/root/repo/src/common/TextTable.cpp" "src/common/CMakeFiles/hetsim_common.dir/TextTable.cpp.o" "gcc" "src/common/CMakeFiles/hetsim_common.dir/TextTable.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsim_common.dir/AsciiChart.cpp.o"
+  "CMakeFiles/hetsim_common.dir/AsciiChart.cpp.o.d"
+  "CMakeFiles/hetsim_common.dir/Config.cpp.o"
+  "CMakeFiles/hetsim_common.dir/Config.cpp.o.d"
+  "CMakeFiles/hetsim_common.dir/Error.cpp.o"
+  "CMakeFiles/hetsim_common.dir/Error.cpp.o.d"
+  "CMakeFiles/hetsim_common.dir/Log.cpp.o"
+  "CMakeFiles/hetsim_common.dir/Log.cpp.o.d"
+  "CMakeFiles/hetsim_common.dir/Stats.cpp.o"
+  "CMakeFiles/hetsim_common.dir/Stats.cpp.o.d"
+  "CMakeFiles/hetsim_common.dir/StringUtil.cpp.o"
+  "CMakeFiles/hetsim_common.dir/StringUtil.cpp.o.d"
+  "CMakeFiles/hetsim_common.dir/TextTable.cpp.o"
+  "CMakeFiles/hetsim_common.dir/TextTable.cpp.o.d"
+  "libhetsim_common.a"
+  "libhetsim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

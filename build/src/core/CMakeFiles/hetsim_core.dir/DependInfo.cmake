@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ConsistencyValidation.cpp" "src/core/CMakeFiles/hetsim_core.dir/ConsistencyValidation.cpp.o" "gcc" "src/core/CMakeFiles/hetsim_core.dir/ConsistencyValidation.cpp.o.d"
+  "/root/repo/src/core/DesignSpace.cpp" "src/core/CMakeFiles/hetsim_core.dir/DesignSpace.cpp.o" "gcc" "src/core/CMakeFiles/hetsim_core.dir/DesignSpace.cpp.o.d"
+  "/root/repo/src/core/Experiments.cpp" "src/core/CMakeFiles/hetsim_core.dir/Experiments.cpp.o" "gcc" "src/core/CMakeFiles/hetsim_core.dir/Experiments.cpp.o.d"
+  "/root/repo/src/core/ExtraWorkloads.cpp" "src/core/CMakeFiles/hetsim_core.dir/ExtraWorkloads.cpp.o" "gcc" "src/core/CMakeFiles/hetsim_core.dir/ExtraWorkloads.cpp.o.d"
+  "/root/repo/src/core/HeteroSimulator.cpp" "src/core/CMakeFiles/hetsim_core.dir/HeteroSimulator.cpp.o" "gcc" "src/core/CMakeFiles/hetsim_core.dir/HeteroSimulator.cpp.o.d"
+  "/root/repo/src/core/KernelModel.cpp" "src/core/CMakeFiles/hetsim_core.dir/KernelModel.cpp.o" "gcc" "src/core/CMakeFiles/hetsim_core.dir/KernelModel.cpp.o.d"
+  "/root/repo/src/core/LocalityValidation.cpp" "src/core/CMakeFiles/hetsim_core.dir/LocalityValidation.cpp.o" "gcc" "src/core/CMakeFiles/hetsim_core.dir/LocalityValidation.cpp.o.d"
+  "/root/repo/src/core/Lowering.cpp" "src/core/CMakeFiles/hetsim_core.dir/Lowering.cpp.o" "gcc" "src/core/CMakeFiles/hetsim_core.dir/Lowering.cpp.o.d"
+  "/root/repo/src/core/SourceLineModel.cpp" "src/core/CMakeFiles/hetsim_core.dir/SourceLineModel.cpp.o" "gcc" "src/core/CMakeFiles/hetsim_core.dir/SourceLineModel.cpp.o.d"
+  "/root/repo/src/core/SystemConfig.cpp" "src/core/CMakeFiles/hetsim_core.dir/SystemConfig.cpp.o" "gcc" "src/core/CMakeFiles/hetsim_core.dir/SystemConfig.cpp.o.d"
+  "/root/repo/src/core/SystemDescriptor.cpp" "src/core/CMakeFiles/hetsim_core.dir/SystemDescriptor.cpp.o" "gcc" "src/core/CMakeFiles/hetsim_core.dir/SystemDescriptor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hetsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/hetsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/hetsim_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/hetsim_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/interconnect/CMakeFiles/hetsim_interconnect.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/hetsim_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/hetsim_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/hetsim_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/hetsim_comm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

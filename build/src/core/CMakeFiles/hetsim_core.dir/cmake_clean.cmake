@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsim_core.dir/ConsistencyValidation.cpp.o"
+  "CMakeFiles/hetsim_core.dir/ConsistencyValidation.cpp.o.d"
+  "CMakeFiles/hetsim_core.dir/DesignSpace.cpp.o"
+  "CMakeFiles/hetsim_core.dir/DesignSpace.cpp.o.d"
+  "CMakeFiles/hetsim_core.dir/Experiments.cpp.o"
+  "CMakeFiles/hetsim_core.dir/Experiments.cpp.o.d"
+  "CMakeFiles/hetsim_core.dir/ExtraWorkloads.cpp.o"
+  "CMakeFiles/hetsim_core.dir/ExtraWorkloads.cpp.o.d"
+  "CMakeFiles/hetsim_core.dir/HeteroSimulator.cpp.o"
+  "CMakeFiles/hetsim_core.dir/HeteroSimulator.cpp.o.d"
+  "CMakeFiles/hetsim_core.dir/KernelModel.cpp.o"
+  "CMakeFiles/hetsim_core.dir/KernelModel.cpp.o.d"
+  "CMakeFiles/hetsim_core.dir/LocalityValidation.cpp.o"
+  "CMakeFiles/hetsim_core.dir/LocalityValidation.cpp.o.d"
+  "CMakeFiles/hetsim_core.dir/Lowering.cpp.o"
+  "CMakeFiles/hetsim_core.dir/Lowering.cpp.o.d"
+  "CMakeFiles/hetsim_core.dir/SourceLineModel.cpp.o"
+  "CMakeFiles/hetsim_core.dir/SourceLineModel.cpp.o.d"
+  "CMakeFiles/hetsim_core.dir/SystemConfig.cpp.o"
+  "CMakeFiles/hetsim_core.dir/SystemConfig.cpp.o.d"
+  "CMakeFiles/hetsim_core.dir/SystemDescriptor.cpp.o"
+  "CMakeFiles/hetsim_core.dir/SystemDescriptor.cpp.o.d"
+  "libhetsim_core.a"
+  "libhetsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

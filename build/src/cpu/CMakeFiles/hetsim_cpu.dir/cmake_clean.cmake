@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsim_cpu.dir/BranchPredictor.cpp.o"
+  "CMakeFiles/hetsim_cpu.dir/BranchPredictor.cpp.o.d"
+  "CMakeFiles/hetsim_cpu.dir/CpuCore.cpp.o"
+  "CMakeFiles/hetsim_cpu.dir/CpuCore.cpp.o.d"
+  "libhetsim_cpu.a"
+  "libhetsim_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsim_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsim_dram.dir/Dram.cpp.o"
+  "CMakeFiles/hetsim_dram.dir/Dram.cpp.o.d"
+  "libhetsim_dram.a"
+  "libhetsim_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsim_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsim_energy.dir/EnergyModel.cpp.o"
+  "CMakeFiles/hetsim_energy.dir/EnergyModel.cpp.o.d"
+  "libhetsim_energy.a"
+  "libhetsim_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsim_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

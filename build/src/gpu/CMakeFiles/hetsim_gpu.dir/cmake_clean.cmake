@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsim_gpu.dir/Coalescer.cpp.o"
+  "CMakeFiles/hetsim_gpu.dir/Coalescer.cpp.o.d"
+  "CMakeFiles/hetsim_gpu.dir/GpuCore.cpp.o"
+  "CMakeFiles/hetsim_gpu.dir/GpuCore.cpp.o.d"
+  "libhetsim_gpu.a"
+  "libhetsim_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsim_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

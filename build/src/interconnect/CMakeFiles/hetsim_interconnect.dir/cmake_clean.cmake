@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsim_interconnect.dir/MeshNoc.cpp.o"
+  "CMakeFiles/hetsim_interconnect.dir/MeshNoc.cpp.o.d"
+  "CMakeFiles/hetsim_interconnect.dir/RingBus.cpp.o"
+  "CMakeFiles/hetsim_interconnect.dir/RingBus.cpp.o.d"
+  "libhetsim_interconnect.a"
+  "libhetsim_interconnect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsim_interconnect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

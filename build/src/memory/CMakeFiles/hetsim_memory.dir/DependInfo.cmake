@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memory/AddressSpaceModel.cpp" "src/memory/CMakeFiles/hetsim_memory.dir/AddressSpaceModel.cpp.o" "gcc" "src/memory/CMakeFiles/hetsim_memory.dir/AddressSpaceModel.cpp.o.d"
+  "/root/repo/src/memory/ConsistencyChecker.cpp" "src/memory/CMakeFiles/hetsim_memory.dir/ConsistencyChecker.cpp.o" "gcc" "src/memory/CMakeFiles/hetsim_memory.dir/ConsistencyChecker.cpp.o.d"
+  "/root/repo/src/memory/FirstTouchTracker.cpp" "src/memory/CMakeFiles/hetsim_memory.dir/FirstTouchTracker.cpp.o" "gcc" "src/memory/CMakeFiles/hetsim_memory.dir/FirstTouchTracker.cpp.o.d"
+  "/root/repo/src/memory/HybridCoherence.cpp" "src/memory/CMakeFiles/hetsim_memory.dir/HybridCoherence.cpp.o" "gcc" "src/memory/CMakeFiles/hetsim_memory.dir/HybridCoherence.cpp.o.d"
+  "/root/repo/src/memory/MemorySystem.cpp" "src/memory/CMakeFiles/hetsim_memory.dir/MemorySystem.cpp.o" "gcc" "src/memory/CMakeFiles/hetsim_memory.dir/MemorySystem.cpp.o.d"
+  "/root/repo/src/memory/Ownership.cpp" "src/memory/CMakeFiles/hetsim_memory.dir/Ownership.cpp.o" "gcc" "src/memory/CMakeFiles/hetsim_memory.dir/Ownership.cpp.o.d"
+  "/root/repo/src/memory/PageTable.cpp" "src/memory/CMakeFiles/hetsim_memory.dir/PageTable.cpp.o" "gcc" "src/memory/CMakeFiles/hetsim_memory.dir/PageTable.cpp.o.d"
+  "/root/repo/src/memory/SoftwareCoherence.cpp" "src/memory/CMakeFiles/hetsim_memory.dir/SoftwareCoherence.cpp.o" "gcc" "src/memory/CMakeFiles/hetsim_memory.dir/SoftwareCoherence.cpp.o.d"
+  "/root/repo/src/memory/Tlb.cpp" "src/memory/CMakeFiles/hetsim_memory.dir/Tlb.cpp.o" "gcc" "src/memory/CMakeFiles/hetsim_memory.dir/Tlb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hetsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/hetsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/hetsim_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/hetsim_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/interconnect/CMakeFiles/hetsim_interconnect.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsim_memory.dir/AddressSpaceModel.cpp.o"
+  "CMakeFiles/hetsim_memory.dir/AddressSpaceModel.cpp.o.d"
+  "CMakeFiles/hetsim_memory.dir/ConsistencyChecker.cpp.o"
+  "CMakeFiles/hetsim_memory.dir/ConsistencyChecker.cpp.o.d"
+  "CMakeFiles/hetsim_memory.dir/FirstTouchTracker.cpp.o"
+  "CMakeFiles/hetsim_memory.dir/FirstTouchTracker.cpp.o.d"
+  "CMakeFiles/hetsim_memory.dir/HybridCoherence.cpp.o"
+  "CMakeFiles/hetsim_memory.dir/HybridCoherence.cpp.o.d"
+  "CMakeFiles/hetsim_memory.dir/MemorySystem.cpp.o"
+  "CMakeFiles/hetsim_memory.dir/MemorySystem.cpp.o.d"
+  "CMakeFiles/hetsim_memory.dir/Ownership.cpp.o"
+  "CMakeFiles/hetsim_memory.dir/Ownership.cpp.o.d"
+  "CMakeFiles/hetsim_memory.dir/PageTable.cpp.o"
+  "CMakeFiles/hetsim_memory.dir/PageTable.cpp.o.d"
+  "CMakeFiles/hetsim_memory.dir/SoftwareCoherence.cpp.o"
+  "CMakeFiles/hetsim_memory.dir/SoftwareCoherence.cpp.o.d"
+  "CMakeFiles/hetsim_memory.dir/Tlb.cpp.o"
+  "CMakeFiles/hetsim_memory.dir/Tlb.cpp.o.d"
+  "libhetsim_memory.a"
+  "libhetsim_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsim_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/DataLayout.cpp" "src/trace/CMakeFiles/hetsim_trace.dir/DataLayout.cpp.o" "gcc" "src/trace/CMakeFiles/hetsim_trace.dir/DataLayout.cpp.o.d"
+  "/root/repo/src/trace/Kernel.cpp" "src/trace/CMakeFiles/hetsim_trace.dir/Kernel.cpp.o" "gcc" "src/trace/CMakeFiles/hetsim_trace.dir/Kernel.cpp.o.d"
+  "/root/repo/src/trace/KernelGenerators.cpp" "src/trace/CMakeFiles/hetsim_trace.dir/KernelGenerators.cpp.o" "gcc" "src/trace/CMakeFiles/hetsim_trace.dir/KernelGenerators.cpp.o.d"
+  "/root/repo/src/trace/KernelTraceGenerator.cpp" "src/trace/CMakeFiles/hetsim_trace.dir/KernelTraceGenerator.cpp.o" "gcc" "src/trace/CMakeFiles/hetsim_trace.dir/KernelTraceGenerator.cpp.o.d"
+  "/root/repo/src/trace/Opcode.cpp" "src/trace/CMakeFiles/hetsim_trace.dir/Opcode.cpp.o" "gcc" "src/trace/CMakeFiles/hetsim_trace.dir/Opcode.cpp.o.d"
+  "/root/repo/src/trace/TraceBuffer.cpp" "src/trace/CMakeFiles/hetsim_trace.dir/TraceBuffer.cpp.o" "gcc" "src/trace/CMakeFiles/hetsim_trace.dir/TraceBuffer.cpp.o.d"
+  "/root/repo/src/trace/TraceIO.cpp" "src/trace/CMakeFiles/hetsim_trace.dir/TraceIO.cpp.o" "gcc" "src/trace/CMakeFiles/hetsim_trace.dir/TraceIO.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hetsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

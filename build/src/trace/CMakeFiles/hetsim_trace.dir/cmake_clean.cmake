@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsim_trace.dir/DataLayout.cpp.o"
+  "CMakeFiles/hetsim_trace.dir/DataLayout.cpp.o.d"
+  "CMakeFiles/hetsim_trace.dir/Kernel.cpp.o"
+  "CMakeFiles/hetsim_trace.dir/Kernel.cpp.o.d"
+  "CMakeFiles/hetsim_trace.dir/KernelGenerators.cpp.o"
+  "CMakeFiles/hetsim_trace.dir/KernelGenerators.cpp.o.d"
+  "CMakeFiles/hetsim_trace.dir/KernelTraceGenerator.cpp.o"
+  "CMakeFiles/hetsim_trace.dir/KernelTraceGenerator.cpp.o.d"
+  "CMakeFiles/hetsim_trace.dir/Opcode.cpp.o"
+  "CMakeFiles/hetsim_trace.dir/Opcode.cpp.o.d"
+  "CMakeFiles/hetsim_trace.dir/TraceBuffer.cpp.o"
+  "CMakeFiles/hetsim_trace.dir/TraceBuffer.cpp.o.d"
+  "CMakeFiles/hetsim_trace.dir/TraceIO.cpp.o"
+  "CMakeFiles/hetsim_trace.dir/TraceIO.cpp.o.d"
+  "libhetsim_trace.a"
+  "libhetsim_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsim_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/extensions_test.cpp" "tests/CMakeFiles/extensions_test.dir/extensions_test.cpp.o" "gcc" "tests/CMakeFiles/extensions_test.dir/extensions_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hetsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/hetsim_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/hetsim_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/hetsim_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/hetsim_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/hetsim_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/hetsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/hetsim_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/hetsim_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/interconnect/CMakeFiles/hetsim_interconnect.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hetsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetsim.dir/hetsim_cli.cpp.o"
+  "CMakeFiles/hetsim.dir/hetsim_cli.cpp.o.d"
+  "hetsim"
+  "hetsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
