@@ -18,14 +18,13 @@
 using namespace hetsim;
 
 namespace {
-double parallelUs(CaseStudy Study, KernelId Kernel, bool Interleaved,
-                  unsigned Channels) {
+SweepPoint contentionPoint(CaseStudy Study, KernelId Kernel,
+                           bool Interleaved, unsigned Channels) {
   ConfigStore Overrides;
   Overrides.setBool("sys.interleaved_contention", Interleaved);
   SystemConfig Config = SystemConfig::forCaseStudy(Study, Overrides);
   Config.Hier.Dram.Channels = Channels;
-  HeteroSimulator Sim(Config);
-  return Sim.run(Kernel).Time.ParallelNs / 1e3;
+  return SweepPoint(std::move(Config), Kernel);
 }
 } // namespace
 
@@ -33,20 +32,34 @@ int main() {
   std::printf("=== Ablation J: cross-PU memory interference (IDEAL "
               "system) ===\n\n");
 
+  static const KernelId Kernels[] = {KernelId::Reduction,
+                                     KernelId::MergeSort};
+  std::vector<SweepPoint> Points;
+  for (KernelId Kernel : Kernels)
+    for (unsigned Channels : {4u, 1u}) {
+      Points.push_back(
+          contentionPoint(CaseStudy::IdealHetero, Kernel, false, Channels));
+      Points.push_back(
+          contentionPoint(CaseStudy::IdealHetero, Kernel, true, Channels));
+    }
+  SweepRunner Runner;
+  std::vector<RunResult> Results = Runner.run(Points);
+
   TextTable Table({"kernel", "channels", "sequential-pass par_us",
                    "interleaved par_us", "interference"});
-  for (KernelId Kernel : {KernelId::Reduction, KernelId::MergeSort}) {
+  size_t Next = 0;
+  for (KernelId Kernel : Kernels) {
     for (unsigned Channels : {4u, 1u}) {
-      double Plain =
-          parallelUs(CaseStudy::IdealHetero, Kernel, false, Channels);
-      double Inter =
-          parallelUs(CaseStudy::IdealHetero, Kernel, true, Channels);
+      double Plain = Results[Next++].Time.ParallelNs / 1e3;
+      double Inter = Results[Next++].Time.ParallelNs / 1e3;
       Table.addRow({kernelName(Kernel), std::to_string(Channels),
                     formatDouble(Plain, 1), formatDouble(Inter, 1),
                     formatPercent(Inter / Plain - 1.0)});
     }
   }
   std::printf("%s\n", Table.render().c_str());
+  std::fprintf(stderr, "%s\n", Runner.telemetry().summary().c_str());
+  appendBenchTiming("ablation_contention", Runner.telemetry());
   std::printf("Enable with sys.interleaved_contention=true. With one CPU\n"
               "and one GPU core the interference is second-order (a few\n"
               "percent on the streaming kernel, none on cache-resident\n"

@@ -22,15 +22,17 @@ int main() {
               "IDEAL system) ===\n\n");
 
   SystemConfig Config = SystemConfig::forCaseStudy(CaseStudy::IdealHetero);
+  SweepTelemetry Total, Telemetry;
 
   // Detailed curve for one kernel.
   std::printf("Reduction, total time vs CPU work fraction:\n\n");
   TextTable Curve({"cpu_fraction", "total_us", "parallel_us"});
   for (const PartitionPoint &Point :
-       sweepPartition(Config, KernelId::Reduction, 10))
+       sweepPartition(Config, KernelId::Reduction, 10, 0, &Telemetry))
     Curve.addRow({formatDouble(Point.CpuFraction, 1),
                   formatDouble(Point.TotalNs / 1e3, 1),
                   formatDouble(Point.ParallelNs / 1e3, 1)});
+  Total.merge(Telemetry);
   std::printf("%s\n", Curve.render().c_str());
 
   // Optimal split per kernel (coarser sweep to keep runtime modest).
@@ -41,7 +43,8 @@ int main() {
     // Matrix multiply is large; a coarser sweep suffices there.
     unsigned Steps = Kernel == KernelId::MatrixMul ? 4 : 10;
     std::vector<PartitionPoint> Points =
-        sweepPartition(Config, Kernel, Steps);
+        sweepPartition(Config, Kernel, Steps, 0, &Telemetry);
+    Total.merge(Telemetry);
     PartitionPoint BestPoint = Points.front();
     double EvenNs = 0;
     for (const PartitionPoint &Point : Points) {
@@ -60,5 +63,7 @@ int main() {
   std::printf("%s\n", Best.render().c_str());
   std::printf("The paper's even split is the 0.5 column; the sweep shows\n"
               "how much an adaptive mapper (Qilin) could recover.\n");
+  std::fprintf(stderr, "%s\n", Total.summary().c_str());
+  appendBenchTiming("ablation_partition", Total);
   return 0;
 }

@@ -20,17 +20,28 @@ using namespace hetsim;
 int main() {
   std::printf("=== Ablation K: GPU warp-count sweep (IDEAL system) ===\n\n");
 
-  TextTable Table({"kernel", "1 warp", "2", "4", "8", "16", "32",
-                   "1-warp slowdown"});
-  for (KernelId Kernel :
-       {KernelId::Reduction, KernelId::MergeSort, KernelId::KMeans}) {
-    std::vector<std::string> Cells = {kernelName(Kernel)};
-    double OneWarpUs = 0, ManyWarpUs = 0;
-    for (unsigned Warps : {1u, 2u, 4u, 8u, 16u, 32u}) {
+  static const KernelId Kernels[] = {KernelId::Reduction,
+                                     KernelId::MergeSort, KernelId::KMeans};
+  static const unsigned WarpCounts[] = {1, 2, 4, 8, 16, 32};
+
+  std::vector<SweepPoint> Points;
+  for (KernelId Kernel : Kernels)
+    for (unsigned Warps : WarpCounts) {
       SystemConfig Config = SystemConfig::forCaseStudy(CaseStudy::IdealHetero);
       Config.Gpu.NumWarps = Warps;
-      HeteroSimulator Sim(Config);
-      RunResult R = Sim.run(Kernel);
+      Points.emplace_back(std::move(Config), Kernel);
+    }
+  SweepRunner Runner;
+  std::vector<RunResult> Results = Runner.run(Points);
+
+  TextTable Table({"kernel", "1 warp", "2", "4", "8", "16", "32",
+                   "1-warp slowdown"});
+  size_t Next = 0;
+  for (KernelId Kernel : Kernels) {
+    std::vector<std::string> Cells = {kernelName(Kernel)};
+    double OneWarpUs = 0, ManyWarpUs = 0;
+    for (unsigned Warps : WarpCounts) {
+      const RunResult &R = Results[Next++];
       // Report the GPU-side time: parallel span is often CPU-bound, so
       // show the GPU segment itself.
       double GpuUs =
@@ -44,6 +55,8 @@ int main() {
     Table.addRow(Cells);
   }
   std::printf("%s\n", Table.render().c_str());
+  std::fprintf(stderr, "%s\n", Runner.telemetry().summary().c_str());
+  appendBenchTiming("ablation_warps", Runner.telemetry());
   std::printf("GPU-side microseconds per kernel round. The branchy merge\n"
               "sort (a stall per compare) and the streaming reduction gain\n"
               "the most from added warps; beyond the knee the cores sit on\n"

@@ -20,7 +20,8 @@ using namespace hetsim;
 
 int main() {
   std::printf("=== Figure 5: case-study time breakdown ===\n\n");
-  std::vector<ExperimentRow> Rows = runCaseStudies();
+  SweepTelemetry Telemetry;
+  std::vector<ExperimentRow> Rows = runCaseStudies({}, 0, &Telemetry);
   TextTable Table = renderFigure5(Rows);
   maybeExportCsv("fig5", Table);
   std::printf("%s\n", Table.render().c_str());
@@ -64,5 +65,10 @@ int main() {
   for (KernelId Kernel : allKernels())
     std::printf("  %-12s %5.1f%%\n", kernelName(Kernel),
                 100.0 * Acc[Kernel].first / Acc[Kernel].second);
+
+  // Wall-clock telemetry goes to stderr so stdout stays byte-identical
+  // across job counts (determinism checks diff it).
+  std::fprintf(stderr, "%s\n", Telemetry.summary().c_str());
+  appendBenchTiming("fig5_case_studies", Telemetry);
   return 0;
 }

@@ -18,7 +18,8 @@ using namespace hetsim;
 
 int main() {
   std::printf("=== Figure 6: communication overhead ===\n\n");
-  std::vector<ExperimentRow> Rows = runCaseStudies();
+  SweepTelemetry Telemetry;
+  std::vector<ExperimentRow> Rows = runCaseStudies({}, 0, &Telemetry);
   TextTable Table = renderFigure6(Rows);
   maybeExportCsv("fig6", Table);
   std::printf("%s\n", Table.render().c_str());
@@ -50,5 +51,8 @@ int main() {
                 Fusion < CpuGpu ? "yes" : "NO",
                 Ideal == 0.0 ? "yes" : "NO");
   }
+
+  std::fprintf(stderr, "%s\n", Telemetry.summary().c_str());
+  appendBenchTiming("fig6_comm_overhead", Telemetry);
   return 0;
 }

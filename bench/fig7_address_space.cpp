@@ -19,7 +19,8 @@ using namespace hetsim;
 int main() {
   std::printf("=== Figure 7: address-space options, ideal communication "
               "===\n\n");
-  std::vector<ExperimentRow> Rows = runAddressSpaceStudy();
+  SweepTelemetry Telemetry;
+  std::vector<ExperimentRow> Rows = runAddressSpaceStudy({}, 0, &Telemetry);
   TextTable Table = renderFigure7(Rows);
   maybeExportCsv("fig7", Table);
   std::printf("%s\n", Table.render().c_str());
@@ -35,5 +36,8 @@ int main() {
   for (KernelId Kernel : allKernels())
     std::printf("  %-12s %+0.2f%%\n", kernelName(Kernel),
                 100.0 * (Range[Kernel].second / Range[Kernel].first - 1.0));
+
+  std::fprintf(stderr, "%s\n", Telemetry.summary().c_str());
+  appendBenchTiming("fig7_address_space", Telemetry);
   return 0;
 }

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Times the Figure 5/6 case-study sweep serially and in parallel and
+# records the results as BENCH_sweep.json.
+#
+# Usage: scripts/bench_timing.sh [jobs] [outfile]
+#   jobs     parallel worker count for the wide run (default: nproc)
+#   outfile  result path (default: BENCH_sweep.json)
+#
+# Three configurations are measured:
+#   serial-nocache  jobs=1, trace cache off — the pre-sweep-engine baseline
+#   serial          jobs=1, trace cache on
+#   parallel        jobs=N, trace cache on
+#
+# Speedups are relative to serial-nocache. On multi-core hosts the
+# parallel run should be >=2x at jobs>=4; on a single core only the
+# trace-cache win shows up.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${1:-$(nproc 2>/dev/null || echo 4)}"
+OUTFILE="${2:-BENCH_sweep.json}"
+BENCH=build/bench/fig5_case_studies
+
+if [ ! -x "$BENCH" ]; then
+  echo "error: $BENCH not built; run cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+TMPDIR_TIMING=$(mktemp -d)
+trap 'rm -rf "$TMPDIR_TIMING"' EXIT
+
+# Runs one configuration; prints "wall_s points points_per_s".
+run_once() { # name jobs cache_flag
+  local log="$TMPDIR_TIMING/$1.json"
+  HETSIM_JOBS="$2" HETSIM_TRACE_CACHE="$3" HETSIM_TIMING_JSON="$log" \
+    "$BENCH" >/dev/null 2>&1
+  # The timing line has a fixed key order; pull fields with sed.
+  sed -n '1s/.*"points":\([0-9]*\),"jobs":[0-9]*,"wall_s":\([0-9.]*\),"points_per_s":\([0-9.]*\).*/\2 \1 \3/p' "$log"
+}
+
+echo "== serial baseline (jobs=1, trace cache off) =="
+read -r BASE_WALL BASE_POINTS BASE_PPS <<<"$(run_once serial-nocache 1 0)"
+echo "   ${BASE_WALL}s for ${BASE_POINTS} points (${BASE_PPS} points/s)"
+
+echo "== serial (jobs=1, trace cache on) =="
+read -r SER_WALL SER_POINTS SER_PPS <<<"$(run_once serial 1 1)"
+echo "   ${SER_WALL}s for ${SER_POINTS} points (${SER_PPS} points/s)"
+
+echo "== parallel (jobs=$JOBS, trace cache on) =="
+read -r PAR_WALL PAR_POINTS PAR_PPS <<<"$(run_once parallel "$JOBS" 1)"
+echo "   ${PAR_WALL}s for ${PAR_POINTS} points (${PAR_PPS} points/s)"
+
+SER_SPEEDUP=$(awk "BEGIN{printf \"%.2f\", $BASE_WALL/$SER_WALL}")
+PAR_SPEEDUP=$(awk "BEGIN{printf \"%.2f\", $BASE_WALL/$PAR_WALL}")
+
+cat > "$OUTFILE" <<EOF
+{
+  "bench": "fig5_case_studies",
+  "host_cores": $(nproc 2>/dev/null || echo 0),
+  "runs": [
+    {"variant": "serial-nocache", "jobs": 1, "points": $BASE_POINTS, "wall_s": $BASE_WALL, "points_per_s": $BASE_PPS, "speedup": 1.00},
+    {"variant": "serial", "jobs": 1, "points": $SER_POINTS, "wall_s": $SER_WALL, "points_per_s": $SER_PPS, "speedup": $SER_SPEEDUP},
+    {"variant": "parallel", "jobs": $JOBS, "points": $PAR_POINTS, "wall_s": $PAR_WALL, "points_per_s": $PAR_PPS, "speedup": $PAR_SPEEDUP}
+  ]
+}
+EOF
+
+echo "== wrote $OUTFILE (parallel speedup ${PAR_SPEEDUP}x over serial-nocache) =="

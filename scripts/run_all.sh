@@ -2,14 +2,26 @@
 # Reproduces every table, figure, and ablation into an output directory.
 #
 # Usage: scripts/run_all.sh [outdir]   (default: out/)
-set -u
+#
+# Environment:
+#   HETSIM_JOBS  worker threads per sweep (default: all cores)
+set -euo pipefail
 OUT="${1:-out}"
 mkdir -p "$OUT"
 export HETSIM_CSV_DIR="$OUT"
+export HETSIM_TIMING_JSON="$OUT/bench_timing.json"
+rm -f "$HETSIM_TIMING_JSON"
 
 echo "== building =="
-cmake -B build -G Ninja >/dev/null
-cmake --build build >/dev/null
+# Prefer Ninja when available; otherwise let cmake pick its default.
+if [ ! -f build/CMakeCache.txt ]; then
+  if command -v ninja >/dev/null 2>&1; then
+    cmake -B build -S . -G Ninja >/dev/null
+  else
+    cmake -B build -S . >/dev/null
+  fi
+fi
+cmake --build build -j >/dev/null
 
 echo "== tests =="
 ctest --test-dir build 2>&1 | tee "$OUT/test_output.txt" | tail -2
@@ -19,7 +31,9 @@ for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] || continue
   name=$(basename "$b")
   echo "-- $name"
-  "$b" > "$OUT/$name.txt" 2>&1
+  # stdout is the reproducible artifact; wall-clock telemetry goes to
+  # stderr and $HETSIM_TIMING_JSON so the .txt stays machine-independent.
+  "$b" > "$OUT/$name.txt" 2> >(tail -1 >&2)
 done
 
 echo "== examples =="
@@ -29,4 +43,4 @@ for e in build/examples/*; do
   "$e" > "$OUT/example_$name.txt" 2>&1
 done
 
-echo "done: results in $OUT/"
+echo "done: results in $OUT/ (sweep timing: $HETSIM_TIMING_JSON)"

@@ -1,0 +1,39 @@
+//===- common/WallTimer.h - Wall-clock stopwatch ----------------*- C++ -*-===//
+///
+/// \file
+/// A steady-clock stopwatch for harness telemetry (points/s, cache hit
+/// rates, bench timing JSON). Wall-clock only — the simulated time lives
+/// in TimeBreakdown, not here.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HETSIM_COMMON_WALLTIMER_H
+#define HETSIM_COMMON_WALLTIMER_H
+
+#include <chrono>
+
+namespace hetsim {
+
+/// Starts on construction; elapsed*() can be read repeatedly.
+class WallTimer {
+public:
+  WallTimer() : Start(std::chrono::steady_clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { Start = std::chrono::steady_clock::now(); }
+
+  double elapsedSeconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         Start)
+        .count();
+  }
+
+  double elapsedMillis() const { return elapsedSeconds() * 1e3; }
+
+private:
+  std::chrono::steady_clock::time_point Start;
+};
+
+} // namespace hetsim
+
+#endif // HETSIM_COMMON_WALLTIMER_H

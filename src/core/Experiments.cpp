@@ -13,41 +13,55 @@
 
 using namespace hetsim;
 
+namespace {
+/// Fans a (system x kernel) grid out over the sweep engine and zips the
+/// results back into presentation-ordered rows.
 std::vector<ExperimentRow>
-hetsim::runCaseStudies(const ConfigStore &Overrides) {
+runSystemKernelGrid(const std::vector<SystemConfig> &Systems, unsigned Jobs,
+                    SweepTelemetry *Telemetry) {
+  std::vector<SweepPoint> Points;
+  Points.reserve(Systems.size() * allKernels().size());
+  for (const SystemConfig &Config : Systems)
+    for (KernelId Kernel : allKernels())
+      Points.emplace_back(Config, Kernel);
+
+  SweepRunner Runner(Jobs);
+  std::vector<RunResult> Results = Runner.run(Points);
+  if (Telemetry)
+    *Telemetry = Runner.telemetry();
+
   std::vector<ExperimentRow> Rows;
-  for (CaseStudy Study : allCaseStudies()) {
-    SystemConfig Config = SystemConfig::forCaseStudy(Study, Overrides);
-    HeteroSimulator Simulator(Config);
-    for (KernelId Kernel : allKernels()) {
-      ExperimentRow Row;
-      Row.System = Config.Name;
-      Row.Kernel = Kernel;
-      Row.Result = Simulator.run(Kernel);
-      Rows.push_back(std::move(Row));
-    }
+  Rows.reserve(Points.size());
+  for (size_t I = 0; I != Points.size(); ++I) {
+    ExperimentRow Row;
+    Row.System = Points[I].Config.Name;
+    Row.Kernel = Points[I].Kernel;
+    Row.Result = std::move(Results[I]);
+    Rows.push_back(std::move(Row));
   }
   return Rows;
 }
+} // namespace
 
 std::vector<ExperimentRow>
-hetsim::runAddressSpaceStudy(const ConfigStore &Overrides) {
+hetsim::runCaseStudies(const ConfigStore &Overrides, unsigned Jobs,
+                       SweepTelemetry *Telemetry) {
+  std::vector<SystemConfig> Systems;
+  for (CaseStudy Study : allCaseStudies())
+    Systems.push_back(SystemConfig::forCaseStudy(Study, Overrides));
+  return runSystemKernelGrid(Systems, Jobs, Telemetry);
+}
+
+std::vector<ExperimentRow>
+hetsim::runAddressSpaceStudy(const ConfigStore &Overrides, unsigned Jobs,
+                             SweepTelemetry *Telemetry) {
   static const AddressSpaceKind Kinds[] = {
       AddressSpaceKind::Unified, AddressSpaceKind::PartiallyShared,
       AddressSpaceKind::Disjoint, AddressSpaceKind::Adsm};
-  std::vector<ExperimentRow> Rows;
-  for (AddressSpaceKind Kind : Kinds) {
-    SystemConfig Config = SystemConfig::forAddressSpaceStudy(Kind, Overrides);
-    HeteroSimulator Simulator(Config);
-    for (KernelId Kernel : allKernels()) {
-      ExperimentRow Row;
-      Row.System = Config.Name;
-      Row.Kernel = Kernel;
-      Row.Result = Simulator.run(Kernel);
-      Rows.push_back(std::move(Row));
-    }
-  }
-  return Rows;
+  std::vector<SystemConfig> Systems;
+  for (AddressSpaceKind Kind : Kinds)
+    Systems.push_back(SystemConfig::forAddressSpaceStudy(Kind, Overrides));
+  return runSystemKernelGrid(Systems, Jobs, Telemetry);
 }
 
 namespace {
@@ -220,18 +234,28 @@ TextTable hetsim::renderTable4(const CommParams &Params) {
 
 std::vector<PartitionPoint>
 hetsim::sweepPartition(const SystemConfig &Config, KernelId Kernel,
-                       unsigned Steps) {
-  std::vector<PartitionPoint> Points;
-  Points.reserve(Steps + 1);
+                       unsigned Steps, unsigned Jobs,
+                       SweepTelemetry *Telemetry) {
+  std::vector<SweepPoint> Grid;
+  Grid.reserve(Steps + 1);
   for (unsigned I = 0; I <= Steps; ++I) {
     SystemConfig Variant = Config;
     Variant.CpuWorkFraction = double(I) / double(Steps);
-    HeteroSimulator Simulator(Variant);
-    RunResult Result = Simulator.run(Kernel);
+    Grid.emplace_back(std::move(Variant), Kernel);
+  }
+
+  SweepRunner Runner(Jobs);
+  std::vector<RunResult> Results = Runner.run(Grid);
+  if (Telemetry)
+    *Telemetry = Runner.telemetry();
+
+  std::vector<PartitionPoint> Points;
+  Points.reserve(Results.size());
+  for (size_t I = 0; I != Results.size(); ++I) {
     PartitionPoint Point;
-    Point.CpuFraction = Variant.CpuWorkFraction;
-    Point.TotalNs = Result.Time.totalNs();
-    Point.ParallelNs = Result.Time.ParallelNs;
+    Point.CpuFraction = Grid[I].Config.CpuWorkFraction;
+    Point.TotalNs = Results[I].Time.totalNs();
+    Point.ParallelNs = Results[I].Time.ParallelNs;
     Points.push_back(Point);
   }
   return Points;

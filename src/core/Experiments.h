@@ -11,7 +11,7 @@
 #define HETSIM_CORE_EXPERIMENTS_H
 
 #include "common/TextTable.h"
-#include "core/HeteroSimulator.h"
+#include "core/SweepRunner.h"
 
 namespace hetsim {
 
@@ -22,13 +22,22 @@ struct ExperimentRow {
   RunResult Result;
 };
 
-/// Runs all six kernels on the five case-study systems (Figures 5 and 6).
-std::vector<ExperimentRow> runCaseStudies(const ConfigStore &Overrides = {});
+/// Runs all six kernels on the five case-study systems (Figures 5 and 6)
+/// through the parallel sweep engine. \p Jobs selects the worker count
+/// (0 = HETSIM_JOBS / hardware_concurrency; 1 = serial); rows come back
+/// in the fixed (system, kernel) presentation order regardless of job
+/// count. When \p Telemetry is non-null the sweep's wall-clock stats are
+/// stored there.
+std::vector<ExperimentRow> runCaseStudies(const ConfigStore &Overrides = {},
+                                          unsigned Jobs = 0,
+                                          SweepTelemetry *Telemetry = nullptr);
 
 /// Runs all six kernels on the four address-space options with shared
-/// cache and ideal communication (Figure 7).
+/// cache and ideal communication (Figure 7). Same sweep-engine contract
+/// as runCaseStudies.
 std::vector<ExperimentRow>
-runAddressSpaceStudy(const ConfigStore &Overrides = {});
+runAddressSpaceStudy(const ConfigStore &Overrides = {}, unsigned Jobs = 0,
+                     SweepTelemetry *Telemetry = nullptr);
 
 /// Figure 5: execution time (normalized to IDEAL-HETERO per kernel, when
 /// present) split into sequential / parallel / communication.
@@ -65,10 +74,13 @@ struct PartitionPoint {
 };
 
 /// Runs \p Kernel on \p Config at Steps+1 evenly spaced CPU fractions
-/// in [0, 1] and returns the measured points.
+/// in [0, 1] through the sweep engine and returns the measured points in
+/// fraction order.
 std::vector<PartitionPoint> sweepPartition(const SystemConfig &Config,
                                            KernelId Kernel,
-                                           unsigned Steps = 10);
+                                           unsigned Steps = 10,
+                                           unsigned Jobs = 0,
+                                           SweepTelemetry *Telemetry = nullptr);
 
 /// Returns the sweep point with the lowest total time.
 PartitionPoint findBestPartition(const SystemConfig &Config, KernelId Kernel,

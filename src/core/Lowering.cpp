@@ -5,6 +5,7 @@
 #include "common/Error.h"
 #include "memory/SoftwareCoherence.h"
 #include "trace/KernelTraceGenerator.h"
+#include "trace/TraceCache.h"
 
 #include <cassert>
 #include <unordered_set>
@@ -60,8 +61,7 @@ namespace {
 class LoweringContext {
 public:
   LoweringContext(KernelId Kernel, const SystemConfig &Config)
-      : Kernel(Kernel), Config(Config),
-        Generator(KernelTraceGenerator::forKernel(Kernel)) {
+      : Kernel(Kernel), Config(Config) {
     Program = KernelProgram::build(Kernel);
     Out.Kernel = Kernel;
     Out.Place = AddressSpaceModel::forKind(Config.AddrSpace).place(Kernel);
@@ -156,8 +156,8 @@ private:
     // still drains everything.)
     ExecStep Step;
     Step.Kind = ExecKind::SerialCompute;
-    Step.CpuTrace = Generator.generateSerial(
-        Phase.SerialInsts, Out.Place.CpuLayout, SeedCounter++);
+    Step.CpuTrace = TraceCache::global().serial(
+        Kernel, Phase.SerialInsts, Out.Place.CpuLayout, SeedCounter++);
     Out.Steps.push_back(std::move(Step));
   }
 
@@ -231,13 +231,15 @@ private:
     CpuReq.InstCount = ScaledCpu;
     CpuReq.Seed = SeedCounter++;
     CpuReq.Split = WorkSplit::FirstHalf;
-    Step.CpuTrace = Generator.generateCompute(CpuReq, Out.Place.CpuLayout);
+    Step.CpuTrace =
+        TraceCache::global().compute(Kernel, CpuReq, Out.Place.CpuLayout);
     GenRequest GpuReq;
     GpuReq.Pu = PuKind::Gpu;
     GpuReq.InstCount = ScaledGpu;
     GpuReq.Seed = SeedCounter++;
     GpuReq.Split = WorkSplit::SecondHalf;
-    Step.GpuTrace = Generator.generateCompute(GpuReq, Out.Place.GpuLayout);
+    Step.GpuTrace =
+        TraceCache::global().compute(Kernel, GpuReq, Out.Place.GpuLayout);
     Step.PageFaultPages = Config.IdealComm ? 0 : newGpuFaultPages();
     Out.Steps.push_back(std::move(Step));
   }
@@ -328,7 +330,6 @@ private:
 
   KernelId Kernel;
   const SystemConfig &Config;
-  const KernelTraceGenerator &Generator;
   KernelProgram Program;
   LoweredProgram Out;
   uint64_t SeedCounter = 1;

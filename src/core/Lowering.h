@@ -36,11 +36,14 @@ enum class ExecKind : uint8_t {
 /// Returns a short name for an ExecKind.
 const char *execKindName(ExecKind Kind);
 
-/// One executable step.
+/// One executable step. Traces are held through SharedTrace handles so
+/// sweep points with identical generation inputs share one immutable
+/// buffer (see trace/TraceCache.h); consumers read them exactly like
+/// `const TraceBuffer` values.
 struct ExecStep {
   ExecKind Kind = ExecKind::SerialCompute;
-  TraceBuffer CpuTrace;
-  TraceBuffer GpuTrace;
+  SharedTrace CpuTrace;
+  SharedTrace GpuTrace;
   uint64_t Bytes = 0;
   TransferDir Dir = TransferDir::HostToDevice;
   bool Async = false;

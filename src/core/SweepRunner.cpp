@@ -1,0 +1,104 @@
+//===- core/SweepRunner.cpp -----------------------------------------------===//
+
+#include "core/SweepRunner.h"
+
+#include "common/Log.h"
+#include "common/ThreadPool.h"
+#include "common/WallTimer.h"
+#include "trace/TraceCache.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+using namespace hetsim;
+
+std::string SweepTelemetry::summary() const {
+  char Buffer[256];
+  std::snprintf(Buffer, sizeof(Buffer),
+                "sweep: %llu points in %.3f s (%.1f points/s, %.3g sim-ns "
+                "per wall-s, jobs=%u, trace cache %.0f%% hits)",
+                static_cast<unsigned long long>(Points), WallSeconds,
+                pointsPerSecond(), simNsPerWallSecond(), Jobs,
+                100.0 * cacheHitRate());
+  return Buffer;
+}
+
+void SweepTelemetry::merge(const SweepTelemetry &Other) {
+  Jobs = Other.Jobs;
+  Points += Other.Points;
+  WallSeconds += Other.WallSeconds;
+  SimNsTotal += Other.SimNsTotal;
+  CacheHits += Other.CacheHits;
+  CacheMisses += Other.CacheMisses;
+}
+
+SweepRunner::SweepRunner(unsigned Jobs)
+    : Jobs(Jobs == 0 ? ThreadPool::defaultJobs() : Jobs) {}
+
+std::vector<RunResult>
+SweepRunner::run(const std::vector<SweepPoint> &Points) {
+  std::vector<RunResult> Results(Points.size());
+
+  TraceCacheStats Before = TraceCache::global().stats();
+  WallTimer Timer;
+  {
+    ThreadPool Pool(Jobs);
+    Pool.parallelFor(Points.size(), [&](size_t I) {
+      const SweepPoint &Point = Points[I];
+      SystemConfig Config = Point.Config;
+      // applyOverrides rebuilds CommParams wholesale from the store, so
+      // an empty store would reset comm.* values baked into Point.Config
+      // by forCaseStudy(Study, Overrides). Only apply a real store.
+      if (Point.Overrides.size() != 0)
+        Config.applyOverrides(Point.Overrides);
+      HeteroSimulator Simulator(Config);
+      Results[I] = Simulator.run(Point.Kernel);
+    });
+  }
+
+  Telemetry = SweepTelemetry();
+  Telemetry.Jobs = Jobs;
+  Telemetry.Points = Points.size();
+  Telemetry.WallSeconds = Timer.elapsedSeconds();
+  for (const RunResult &Result : Results)
+    Telemetry.SimNsTotal += Result.Time.totalNs();
+  TraceCacheStats After = TraceCache::global().stats();
+  Telemetry.CacheHits = After.Hits - Before.Hits;
+  Telemetry.CacheMisses = After.Misses - Before.Misses;
+  return Results;
+}
+
+bool hetsim::appendBenchTiming(const std::string &Bench,
+                               const SweepTelemetry &T) {
+  std::string Path = "out/bench_timing.json";
+  if (const char *Env = std::getenv("HETSIM_TIMING_JSON"))
+    if (Env[0] != '\0')
+      Path = Env;
+
+  std::error_code Ec;
+  std::filesystem::path Parent = std::filesystem::path(Path).parent_path();
+  if (!Parent.empty())
+    std::filesystem::create_directories(Parent, Ec);
+
+  std::FILE *File = std::fopen(Path.c_str(), "a");
+  if (!File) {
+    HETSIM_WARN("cannot append bench timing to %s", Path.c_str());
+    return false;
+  }
+  // One JSON object per line (JSON-lines), fixed key order for easy
+  // grepping from shell scripts.
+  std::fprintf(File,
+               "{\"bench\":\"%s\",\"points\":%llu,\"jobs\":%u,"
+               "\"wall_s\":%.6f,\"points_per_s\":%.3f,"
+               "\"sim_ns_per_wall_s\":%.1f,\"cache_hits\":%llu,"
+               "\"cache_misses\":%llu,\"cache_hit_rate\":%.4f}\n",
+               Bench.c_str(), static_cast<unsigned long long>(T.Points),
+               T.Jobs, T.WallSeconds, T.pointsPerSecond(),
+               T.simNsPerWallSecond(),
+               static_cast<unsigned long long>(T.CacheHits),
+               static_cast<unsigned long long>(T.CacheMisses),
+               T.cacheHitRate());
+  std::fclose(File);
+  return true;
+}

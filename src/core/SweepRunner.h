@@ -1,0 +1,98 @@
+//===- core/SweepRunner.h - Parallel design-space sweeps --------*- C++ -*-===//
+///
+/// \file
+/// The sweep engine every experiment harness and bench routes through.
+/// A sweep is a vector of independent (system config, kernel, overrides)
+/// jobs; the runner fans them out over a ThreadPool and returns results
+/// in submission order, so a table rendered from a parallel sweep is
+/// byte-identical to the serial harness. Each sweep also collects
+/// wall-clock telemetry (points/s, simulated-ns throughput, trace-cache
+/// hit rate) that benches print and append to out/bench_timing.json so
+/// the repo keeps a perf trajectory across PRs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HETSIM_CORE_SWEEPRUNNER_H
+#define HETSIM_CORE_SWEEPRUNNER_H
+
+#include "core/HeteroSimulator.h"
+
+#include <string>
+#include <vector>
+
+namespace hetsim {
+
+/// One independent sweep job. A non-empty Overrides store is applied on
+/// top of Config right before the run (so a shared base config can be
+/// swept by key). Note SystemConfig::applyOverrides rebuilds comm.*
+/// params wholesale from the store — when sweeping comm keys, put every
+/// comm override for the point in this store (or bake them all into
+/// Config via forCaseStudy and leave this empty).
+struct SweepPoint {
+  SystemConfig Config;
+  KernelId Kernel = KernelId::Reduction;
+  ConfigStore Overrides;
+
+  SweepPoint() = default;
+  SweepPoint(SystemConfig Config, KernelId Kernel,
+             ConfigStore Overrides = {})
+      : Config(std::move(Config)), Kernel(Kernel),
+        Overrides(std::move(Overrides)) {}
+};
+
+/// Wall-clock telemetry of one sweep.
+struct SweepTelemetry {
+  unsigned Jobs = 1;      ///< Worker count the sweep ran with.
+  uint64_t Points = 0;    ///< Sweep points executed.
+  double WallSeconds = 0; ///< End-to-end wall time of the sweep.
+  double SimNsTotal = 0;  ///< Sum of simulated total-ns over all points.
+  uint64_t CacheHits = 0;   ///< Trace-cache hits during the sweep.
+  uint64_t CacheMisses = 0; ///< Trace-cache misses during the sweep.
+
+  double pointsPerSecond() const {
+    return WallSeconds <= 0 ? 0.0 : double(Points) / WallSeconds;
+  }
+  /// Simulated nanoseconds retired per wall-clock second.
+  double simNsPerWallSecond() const {
+    return WallSeconds <= 0 ? 0.0 : SimNsTotal / WallSeconds;
+  }
+  double cacheHitRate() const {
+    uint64_t Total = CacheHits + CacheMisses;
+    return Total == 0 ? 0.0 : double(CacheHits) / double(Total);
+  }
+
+  /// One human-readable summary line (no trailing newline).
+  std::string summary() const;
+
+  /// Accumulates a later sweep into this one (multi-sweep benches).
+  void merge(const SweepTelemetry &Other);
+};
+
+/// Runs sweeps. Construct with an explicit job count, or 0 to take
+/// HETSIM_JOBS / hardware_concurrency(). jobs=1 executes inline on the
+/// calling thread in submission order (the serial harness).
+class SweepRunner {
+public:
+  explicit SweepRunner(unsigned Jobs = 0);
+
+  /// Runs every point and returns results in submission order.
+  std::vector<RunResult> run(const std::vector<SweepPoint> &Points);
+
+  /// Telemetry of the most recent run().
+  const SweepTelemetry &telemetry() const { return Telemetry; }
+
+  unsigned jobs() const { return Jobs; }
+
+private:
+  unsigned Jobs;
+  SweepTelemetry Telemetry;
+};
+
+/// Appends one JSON record for \p Bench to the timing log. The path is
+/// $HETSIM_TIMING_JSON when set, else out/bench_timing.json (directories
+/// are created as needed). Returns true if a record was written.
+bool appendBenchTiming(const std::string &Bench, const SweepTelemetry &T);
+
+} // namespace hetsim
+
+#endif // HETSIM_CORE_SWEEPRUNNER_H

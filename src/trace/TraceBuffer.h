@@ -12,6 +12,7 @@
 
 #include "trace/TraceRecord.h"
 
+#include <memory>
 #include <vector>
 
 namespace hetsim {
@@ -92,6 +93,51 @@ public:
 
 private:
   std::vector<TraceRecord> Records;
+};
+
+/// An immutable, shareable trace handle. Lowered programs hold their
+/// traces through this so N sweep points over the same (kernel, params)
+/// share one materialized buffer (the trace cache hands out the same
+/// underlying TraceBuffer to every thread). It reads exactly like a
+/// `const TraceBuffer`: size/records/iteration/implicit conversion all
+/// forward to the wrapped buffer; a default-constructed handle behaves as
+/// an empty trace.
+class SharedTrace {
+public:
+  SharedTrace() = default;
+
+  /// Wraps a freshly generated buffer (takes sole ownership).
+  SharedTrace(TraceBuffer Buffer)
+      : Ptr(std::make_shared<const TraceBuffer>(std::move(Buffer))) {}
+
+  /// Adopts an already-shared buffer (trace-cache hits).
+  SharedTrace(std::shared_ptr<const TraceBuffer> Shared)
+      : Ptr(std::move(Shared)) {}
+
+  const TraceBuffer &buffer() const {
+    static const TraceBuffer Empty;
+    return Ptr ? *Ptr : Empty;
+  }
+  operator const TraceBuffer &() const { return buffer(); }
+
+  size_t size() const { return Ptr ? Ptr->size() : 0; }
+  bool empty() const { return size() == 0; }
+  const TraceRecord &operator[](size_t I) const { return buffer()[I]; }
+  const std::vector<TraceRecord> &records() const {
+    return buffer().records();
+  }
+  std::vector<TraceRecord>::const_iterator begin() const {
+    return buffer().begin();
+  }
+  std::vector<TraceRecord>::const_iterator end() const {
+    return buffer().end();
+  }
+
+  /// Number of co-owners (telemetry: >1 means the cache deduplicated).
+  long useCount() const { return Ptr ? Ptr.use_count() : 0; }
+
+private:
+  std::shared_ptr<const TraceBuffer> Ptr;
 };
 
 } // namespace hetsim

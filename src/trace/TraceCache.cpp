@@ -1,0 +1,156 @@
+//===- trace/TraceCache.cpp -----------------------------------------------===//
+
+#include "trace/TraceCache.h"
+
+#include <cstdlib>
+#include <cstring>
+
+using namespace hetsim;
+
+namespace {
+
+/// FNV-1a over arbitrary bytes.
+uint64_t fnv1a(uint64_t Hash, const void *Data, size_t Bytes) {
+  const auto *P = static_cast<const unsigned char *>(Data);
+  for (size_t I = 0; I != Bytes; ++I) {
+    Hash ^= P[I];
+    Hash *= 1099511628211ull;
+  }
+  return Hash;
+}
+
+uint64_t fnv1aU64(uint64_t Hash, uint64_t Value) {
+  return fnv1a(Hash, &Value, sizeof(Value));
+}
+
+/// Fingerprints everything the generators read from a layout: segment
+/// order, names, placed addresses, sizes, and transfer directions.
+uint64_t layoutFingerprint(const KernelDataLayout &Layout) {
+  uint64_t Hash = 14695981039346656037ull;
+  for (const DataSegment &Segment : Layout.segments()) {
+    Hash = fnv1a(Hash, Segment.Name.data(), Segment.Name.size());
+    Hash = fnv1aU64(Hash, Segment.Base);
+    Hash = fnv1aU64(Hash, Segment.Bytes);
+    Hash = fnv1aU64(Hash, static_cast<uint64_t>(Segment.Dir));
+  }
+  return Hash;
+}
+
+} // namespace
+
+size_t TraceCache::KeyHash::operator()(const Key &K) const {
+  uint64_t Hash = 14695981039346656037ull;
+  Hash = fnv1aU64(Hash, static_cast<uint64_t>(K.Kernel));
+  Hash = fnv1aU64(Hash, K.Kind);
+  Hash = fnv1aU64(Hash, K.Split);
+  Hash = fnv1aU64(Hash, K.InstCount);
+  Hash = fnv1aU64(Hash, K.Seed);
+  Hash = fnv1aU64(Hash, K.LayoutHash);
+  return static_cast<size_t>(Hash);
+}
+
+TraceCache::TraceCache() {
+  if (const char *Env = std::getenv("HETSIM_TRACE_CACHE"))
+    Enabled = std::strcmp(Env, "0") != 0;
+}
+
+TraceCache &TraceCache::global() {
+  static TraceCache Instance;
+  return Instance;
+}
+
+std::shared_ptr<const TraceBuffer>
+TraceCache::getOrGenerate(const Key &K,
+                          const KernelTraceGenerator &Generator,
+                          const std::function<TraceBuffer()> &Generate) {
+  unsigned GenIndex = static_cast<unsigned>(K.Kernel) % NumKernels;
+  if (!Enabled) {
+    // Bypass mode still serializes generation: the static generators'
+    // cursor state is shared, cache or no cache.
+    std::lock_guard<std::mutex> Gen(GenMutex[GenIndex]);
+    (void)Generator;
+    return std::make_shared<const TraceBuffer>(Generate());
+  }
+
+  {
+    std::shared_lock<std::shared_mutex> Read(MapMutex);
+    auto It = Map.find(K);
+    if (It != Map.end()) {
+      Hits.fetch_add(1, std::memory_order_relaxed);
+      return It->second;
+    }
+  }
+
+  // Miss: take the kernel's generation lock, then re-check — another
+  // thread may have generated this key while we waited.
+  std::lock_guard<std::mutex> Gen(GenMutex[GenIndex]);
+  {
+    std::shared_lock<std::shared_mutex> Read(MapMutex);
+    auto It = Map.find(K);
+    if (It != Map.end()) {
+      Hits.fetch_add(1, std::memory_order_relaxed);
+      return It->second;
+    }
+  }
+
+  auto Trace = std::make_shared<const TraceBuffer>(Generate());
+  Misses.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::unique_lock<std::shared_mutex> Write(MapMutex);
+    Map.emplace(K, Trace);
+  }
+  return Trace;
+}
+
+std::shared_ptr<const TraceBuffer>
+TraceCache::compute(KernelId Kernel, const GenRequest &Req,
+                    const KernelDataLayout &Layout) {
+  const KernelTraceGenerator &Generator =
+      KernelTraceGenerator::forKernel(Kernel);
+  Key K;
+  K.Kernel = Kernel;
+  K.Kind = Req.Pu == PuKind::Cpu ? 0 : 1;
+  K.Split = static_cast<uint8_t>(Req.Split);
+  K.InstCount = Req.InstCount;
+  K.Seed = Req.Seed;
+  K.LayoutHash = layoutFingerprint(Layout);
+  return getOrGenerate(K, Generator, [&] {
+    return Generator.generateCompute(Req, Layout);
+  });
+}
+
+std::shared_ptr<const TraceBuffer>
+TraceCache::serial(KernelId Kernel, uint64_t InstCount,
+                   const KernelDataLayout &Layout, uint64_t Seed) {
+  const KernelTraceGenerator &Generator =
+      KernelTraceGenerator::forKernel(Kernel);
+  Key K;
+  K.Kernel = Kernel;
+  K.Kind = 2;
+  K.Split = 0;
+  K.InstCount = InstCount;
+  K.Seed = Seed;
+  K.LayoutHash = layoutFingerprint(Layout);
+  return getOrGenerate(K, Generator, [&] {
+    return Generator.generateSerial(InstCount, Layout, Seed);
+  });
+}
+
+TraceCacheStats TraceCache::stats() const {
+  TraceCacheStats S;
+  S.Hits = Hits.load(std::memory_order_relaxed);
+  S.Misses = Misses.load(std::memory_order_relaxed);
+  return S;
+}
+
+void TraceCache::clear() {
+  std::unique_lock<std::shared_mutex> Write(MapMutex);
+  Map.clear();
+  Hits.store(0, std::memory_order_relaxed);
+  Misses.store(0, std::memory_order_relaxed);
+}
+
+size_t TraceCache::entryCount() const {
+  std::shared_lock<std::shared_mutex> Read(MapMutex);
+  return Map.size();
+}

@@ -1,0 +1,111 @@
+//===- trace/TraceCache.h - Keyed cache of generated traces -----*- C++ -*-===//
+///
+/// \file
+/// Generated kernel traces are deterministic functions of (kernel, PU,
+/// instruction count, seed, work split, data layout), but the lowering
+/// used to regenerate them inside every run. This cache keys traces by
+/// those inputs and hands out shared_ptr<const TraceBuffer> handles, so N
+/// sweep points over the same kernel share one immutable buffer across
+/// threads. Lookups take a shared lock; generation on a miss is
+/// serialized per kernel because the static generator instances keep
+/// mutable cursor state (see KernelTraceGenerator.h).
+///
+/// Set HETSIM_TRACE_CACHE=0 to bypass the cache entirely (every request
+/// regenerates) — the seed harness behaviour, kept for perf bisection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HETSIM_TRACE_TRACECACHE_H
+#define HETSIM_TRACE_TRACECACHE_H
+
+#include "trace/KernelTraceGenerator.h"
+
+#include <array>
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+
+namespace hetsim {
+
+/// Cache statistics snapshot.
+struct TraceCacheStats {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+
+  uint64_t lookups() const { return Hits + Misses; }
+  double hitRate() const {
+    uint64_t Total = lookups();
+    return Total == 0 ? 0.0 : double(Hits) / double(Total);
+  }
+};
+
+/// A process-wide, thread-safe cache of generated traces.
+class TraceCache {
+public:
+  /// The process-wide instance every lowering goes through.
+  static TraceCache &global();
+
+  /// Cached equivalent of KernelTraceGenerator::generateCompute.
+  std::shared_ptr<const TraceBuffer>
+  compute(KernelId Kernel, const GenRequest &Req,
+          const KernelDataLayout &Layout);
+
+  /// Cached equivalent of KernelTraceGenerator::generateSerial.
+  std::shared_ptr<const TraceBuffer> serial(KernelId Kernel,
+                                            uint64_t InstCount,
+                                            const KernelDataLayout &Layout,
+                                            uint64_t Seed);
+
+  /// Snapshot of the hit/miss counters.
+  TraceCacheStats stats() const;
+
+  /// Drops every cached trace and resets the counters (tests).
+  void clear();
+
+  /// Number of distinct traces currently cached.
+  size_t entryCount() const;
+
+  /// True when HETSIM_TRACE_CACHE=0 disabled caching for this process.
+  bool enabled() const { return Enabled; }
+
+private:
+  TraceCache();
+
+  /// Cache key: every input the generators read. The layout is folded to
+  /// a fingerprint over its (name, base, bytes, dir) segments.
+  struct Key {
+    KernelId Kernel;
+    uint8_t Kind;  ///< 0 = CPU compute, 1 = GPU compute, 2 = serial.
+    uint8_t Split; ///< WorkSplit (0 for serial).
+    uint64_t InstCount;
+    uint64_t Seed;
+    uint64_t LayoutHash;
+
+    bool operator==(const Key &Other) const = default;
+  };
+
+  struct KeyHash {
+    size_t operator()(const Key &K) const;
+  };
+
+  std::shared_ptr<const TraceBuffer>
+  getOrGenerate(const Key &K, const KernelTraceGenerator &Generator,
+                const std::function<TraceBuffer()> &Generate);
+
+  bool Enabled = true;
+  mutable std::shared_mutex MapMutex;
+  std::unordered_map<Key, std::shared_ptr<const TraceBuffer>, KeyHash> Map;
+  /// Generation serialization, one lock per kernel: the static generator
+  /// objects carry mutable cursors, so two threads must never run the
+  /// same kernel's generator concurrently.
+  std::array<std::mutex, NumKernels> GenMutex;
+  std::atomic<uint64_t> Hits{0};
+  std::atomic<uint64_t> Misses{0};
+};
+
+} // namespace hetsim
+
+#endif // HETSIM_TRACE_TRACECACHE_H

@@ -1,0 +1,197 @@
+//===- tests/sweep_test.cpp - SweepRunner + determinism tests -------------===//
+///
+/// \file
+/// The parallel sweep engine must be a drop-in replacement for the serial
+/// experiment loops: same results, in submission order, at any job count.
+/// The figure-level determinism tests assert byte-identical rendered
+/// tables between jobs=1 and jobs=8.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Experiments.h"
+#include "core/HeteroSimulator.h"
+#include "trace/TraceCache.h"
+
+#include "gtest/gtest.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+using namespace hetsim;
+
+namespace {
+
+std::vector<SweepPoint> smallGrid() {
+  std::vector<SweepPoint> Points;
+  for (CaseStudy Study : {CaseStudy::IdealHetero, CaseStudy::CpuGpu})
+    for (KernelId Kernel : {KernelId::Reduction, KernelId::MergeSort})
+      Points.emplace_back(SystemConfig::forCaseStudy(Study), Kernel);
+  return Points;
+}
+
+TEST(SweepRunner, MatchesSerialSimulation) {
+  std::vector<SweepPoint> Points = smallGrid();
+  SweepRunner Runner(2);
+  std::vector<RunResult> Parallel = Runner.run(Points);
+  ASSERT_EQ(Parallel.size(), Points.size());
+  for (size_t I = 0; I != Points.size(); ++I) {
+    SystemConfig Config = Points[I].Config;
+    Config.applyOverrides(Points[I].Overrides);
+    HeteroSimulator Simulator(Config);
+    RunResult Serial = Simulator.run(Points[I].Kernel);
+    EXPECT_DOUBLE_EQ(Parallel[I].Time.totalNs(), Serial.Time.totalNs())
+        << "point " << I;
+    EXPECT_EQ(Parallel[I].TransferredBytes, Serial.TransferredBytes);
+    EXPECT_EQ(Parallel[I].PageFaults, Serial.PageFaults);
+  }
+}
+
+TEST(SweepRunner, ResultsInSubmissionOrderAcrossJobCounts) {
+  std::vector<SweepPoint> Points = smallGrid();
+  SweepRunner Serial(1);
+  SweepRunner Wide(8);
+  std::vector<RunResult> A = Serial.run(Points);
+  std::vector<RunResult> B = Wide.run(Points);
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I != A.size(); ++I) {
+    EXPECT_DOUBLE_EQ(A[I].Time.totalNs(), B[I].Time.totalNs());
+    EXPECT_EQ(A[I].TransferredBytes, B[I].TransferredBytes);
+    EXPECT_EQ(A[I].OwnershipActions, B[I].OwnershipActions);
+  }
+}
+
+TEST(SweepRunner, CommOverridesBakedIntoConfigSurvive) {
+  // Regression: SweepRunner must not reset comm.* params that were baked
+  // into the config via forCaseStudy(Study, Overrides) — applyOverrides
+  // with an empty store would rebuild CommParams at Table IV defaults.
+  ConfigStore Overrides;
+  Overrides.setInt("comm.lib_pf", 0);
+  std::vector<SweepPoint> Points;
+  Points.emplace_back(SystemConfig::forCaseStudy(CaseStudy::Lrb),
+                      KernelId::Reduction);
+  Points.emplace_back(SystemConfig::forCaseStudy(CaseStudy::Lrb, Overrides),
+                      KernelId::Reduction);
+  SweepRunner Runner(1);
+  std::vector<RunResult> Results = Runner.run(Points);
+  EXPECT_LT(Results[1].Time.CommunicationNs, Results[0].Time.CommunicationNs);
+}
+
+TEST(SweepRunner, PointOverridesApply) {
+  // Overrides carried in the SweepPoint itself must also take effect.
+  ConfigStore Overrides;
+  Overrides.setInt("comm.lib_pf", 168000);
+  std::vector<SweepPoint> Points;
+  Points.emplace_back(SystemConfig::forCaseStudy(CaseStudy::Lrb),
+                      KernelId::Reduction);
+  Points.emplace_back(SystemConfig::forCaseStudy(CaseStudy::Lrb),
+                      KernelId::Reduction, Overrides);
+  SweepRunner Runner(1);
+  std::vector<RunResult> Results = Runner.run(Points);
+  EXPECT_GT(Results[1].Time.CommunicationNs, Results[0].Time.CommunicationNs);
+}
+
+TEST(SweepRunner, TelemetryCountsPoints) {
+  std::vector<SweepPoint> Points = smallGrid();
+  SweepRunner Runner(2);
+  Runner.run(Points);
+  const SweepTelemetry &T = Runner.telemetry();
+  EXPECT_EQ(T.Points, Points.size());
+  EXPECT_EQ(T.Jobs, 2u);
+  EXPECT_GT(T.WallSeconds, 0.0);
+  EXPECT_GT(T.SimNsTotal, 0.0);
+  EXPECT_GT(T.pointsPerSecond(), 0.0);
+}
+
+TEST(SweepRunner, TelemetryMergeAccumulates) {
+  SweepTelemetry A, B;
+  A.Jobs = 2;
+  A.Points = 3;
+  A.WallSeconds = 1.5;
+  A.CacheHits = 4;
+  B.Jobs = 4;
+  B.Points = 7;
+  B.WallSeconds = 0.5;
+  B.CacheMisses = 6;
+  A.merge(B);
+  EXPECT_EQ(A.Jobs, 4u);
+  EXPECT_EQ(A.Points, 10u);
+  EXPECT_DOUBLE_EQ(A.WallSeconds, 2.0);
+  EXPECT_EQ(A.CacheHits, 4u);
+  EXPECT_EQ(A.CacheMisses, 6u);
+}
+
+TEST(SweepRunner, AppendBenchTimingWritesJsonLine) {
+  std::string Path = ::testing::TempDir() + "hetsim_timing_test.json";
+  std::remove(Path.c_str());
+  ::setenv("HETSIM_TIMING_JSON", Path.c_str(), 1);
+  SweepTelemetry T;
+  T.Jobs = 2;
+  T.Points = 4;
+  T.WallSeconds = 0.25;
+  T.SimNsTotal = 1000.0;
+  T.CacheHits = 3;
+  T.CacheMisses = 1;
+  bool Ok = appendBenchTiming("unit", T);
+  ::unsetenv("HETSIM_TIMING_JSON");
+  ASSERT_TRUE(Ok);
+  std::ifstream In(Path);
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  std::string Line = Buffer.str();
+  EXPECT_NE(Line.find("\"bench\":\"unit\""), std::string::npos) << Line;
+  EXPECT_NE(Line.find("\"points\":4"), std::string::npos) << Line;
+  EXPECT_NE(Line.find("\"jobs\":2"), std::string::npos) << Line;
+  EXPECT_NE(Line.find("\"wall_s\":"), std::string::npos) << Line;
+  EXPECT_NE(Line.find("\"points_per_s\":"), std::string::npos) << Line;
+  EXPECT_NE(Line.find("\"cache_hit_rate\":"), std::string::npos) << Line;
+  std::remove(Path.c_str());
+}
+
+TEST(TraceCache, RepeatedSweepHitsCache) {
+  TraceCache &Cache = TraceCache::global();
+  if (!Cache.enabled())
+    GTEST_SKIP() << "HETSIM_TRACE_CACHE=0 set in environment";
+  std::vector<SweepPoint> Points;
+  for (int I = 0; I != 3; ++I)
+    Points.emplace_back(SystemConfig::forCaseStudy(CaseStudy::IdealHetero),
+                        KernelId::Reduction);
+  SweepRunner Runner(1);
+  Runner.run(Points);
+  // Identical (kernel, layout, split) points share generated traces, so at
+  // most the first point misses.
+  EXPECT_GE(Runner.telemetry().CacheHits, 2u * Points.size() - 2);
+}
+
+// Figure-level determinism: the rendered tables feeding the paper's
+// Figures 5-7 must be byte-identical between the serial and the widest
+// parallel harness.
+TEST(Determinism, Figures5And6AreJobCountInvariant) {
+  std::vector<ExperimentRow> Serial = runCaseStudies({}, 1);
+  std::vector<ExperimentRow> Wide = runCaseStudies({}, 8);
+  EXPECT_EQ(renderFigure5(Serial).render(), renderFigure5(Wide).render());
+  EXPECT_EQ(renderFigure6(Serial).render(), renderFigure6(Wide).render());
+}
+
+TEST(Determinism, Figure7IsJobCountInvariant) {
+  std::vector<ExperimentRow> Serial = runAddressSpaceStudy({}, 1);
+  std::vector<ExperimentRow> Wide = runAddressSpaceStudy({}, 8);
+  EXPECT_EQ(renderFigure7(Serial).render(), renderFigure7(Wide).render());
+}
+
+TEST(Determinism, PartitionSweepIsJobCountInvariant) {
+  SystemConfig Config = SystemConfig::forCaseStudy(CaseStudy::IdealHetero);
+  std::vector<PartitionPoint> Serial =
+      sweepPartition(Config, KernelId::Reduction, 10, 1);
+  std::vector<PartitionPoint> Wide =
+      sweepPartition(Config, KernelId::Reduction, 10, 8);
+  ASSERT_EQ(Serial.size(), Wide.size());
+  for (size_t I = 0; I != Serial.size(); ++I) {
+    EXPECT_DOUBLE_EQ(Serial[I].CpuFraction, Wide[I].CpuFraction);
+    EXPECT_DOUBLE_EQ(Serial[I].TotalNs, Wide[I].TotalNs);
+    EXPECT_DOUBLE_EQ(Serial[I].ParallelNs, Wide[I].ParallelNs);
+  }
+}
+
+} // namespace

@@ -1,0 +1,156 @@
+//===- tests/threadpool_test.cpp - ThreadPool unit tests ------------------===//
+///
+/// \file
+/// Lifecycle, exception propagation, and parallelFor bounds coverage for
+/// the sweep engine's worker pool.
+///
+//===----------------------------------------------------------------------===//
+
+#include "common/ThreadPool.h"
+
+#include "gtest/gtest.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+using namespace hetsim;
+
+namespace {
+
+/// RAII helper: set an environment variable for one test, restore after.
+class ScopedEnv {
+public:
+  ScopedEnv(const char *Name, const char *Value) : Name(Name) {
+    const char *Old = std::getenv(Name);
+    if (Old) {
+      HadOld = true;
+      OldValue = Old;
+    }
+    ::setenv(Name, Value, 1);
+  }
+  ~ScopedEnv() {
+    if (HadOld)
+      ::setenv(Name, OldValue.c_str(), 1);
+    else
+      ::unsetenv(Name);
+  }
+
+private:
+  const char *Name;
+  bool HadOld = false;
+  std::string OldValue;
+};
+
+TEST(ThreadPool, DefaultJobsReadsEnv) {
+  ScopedEnv Env("HETSIM_JOBS", "3");
+  EXPECT_EQ(ThreadPool::defaultJobs(), 3u);
+}
+
+TEST(ThreadPool, DefaultJobsIgnoresInvalidEnv) {
+  {
+    ScopedEnv Env("HETSIM_JOBS", "0");
+    EXPECT_GE(ThreadPool::defaultJobs(), 1u);
+  }
+  {
+    ScopedEnv Env("HETSIM_JOBS", "not-a-number");
+    EXPECT_GE(ThreadPool::defaultJobs(), 1u);
+  }
+}
+
+TEST(ThreadPool, ConstructDestroyWithoutWork) {
+  // Pools must shut their workers down cleanly even when never used.
+  for (unsigned Jobs : {1u, 2u, 4u, 8u}) {
+    ThreadPool Pool(Jobs);
+    EXPECT_EQ(Pool.jobs(), Jobs);
+  }
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  constexpr size_t N = 1000;
+  ThreadPool Pool(4);
+  std::vector<std::atomic<int>> Counts(N);
+  Pool.parallelFor(N, [&](size_t I) {
+    ASSERT_LT(I, N);
+    Counts[I].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t I = 0; I != N; ++I)
+    EXPECT_EQ(Counts[I].load(), 1) << "index " << I;
+}
+
+TEST(ThreadPool, ParallelForZeroIterationsRunsNothing) {
+  ThreadPool Pool(4);
+  std::atomic<int> Calls{0};
+  Pool.parallelFor(0, [&](size_t) { Calls.fetch_add(1); });
+  EXPECT_EQ(Calls.load(), 0);
+}
+
+TEST(ThreadPool, ParallelForSingleIterationRunsInline) {
+  ThreadPool Pool(4);
+  std::atomic<int> Calls{0};
+  Pool.parallelFor(1, [&](size_t I) {
+    EXPECT_EQ(I, 0u);
+    Calls.fetch_add(1);
+  });
+  EXPECT_EQ(Calls.load(), 1);
+}
+
+TEST(ThreadPool, MoreWorkersThanIterations) {
+  ThreadPool Pool(8);
+  std::vector<std::atomic<int>> Counts(3);
+  Pool.parallelFor(3, [&](size_t I) { Counts[I].fetch_add(1); });
+  for (size_t I = 0; I != 3; ++I)
+    EXPECT_EQ(Counts[I].load(), 1);
+}
+
+TEST(ThreadPool, SerialFallbackPreservesOrder) {
+  // jobs=1 must execute 0..N-1 in order on the calling thread.
+  ThreadPool Pool(1);
+  std::vector<size_t> Seen;
+  Pool.parallelFor(16, [&](size_t I) { Seen.push_back(I); });
+  std::vector<size_t> Expected(16);
+  std::iota(Expected.begin(), Expected.end(), size_t(0));
+  EXPECT_EQ(Seen, Expected);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller) {
+  ThreadPool Pool(4);
+  EXPECT_THROW(Pool.parallelFor(64,
+                                [&](size_t I) {
+                                  if (I == 7)
+                                    throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ExceptionInSerialModePropagates) {
+  ThreadPool Pool(1);
+  EXPECT_THROW(
+      Pool.parallelFor(4, [&](size_t) { throw std::logic_error("boom"); }),
+      std::logic_error);
+}
+
+TEST(ThreadPool, PoolUsableAfterException) {
+  ThreadPool Pool(4);
+  try {
+    Pool.parallelFor(32, [&](size_t) { throw std::runtime_error("boom"); });
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error &) {
+  }
+  std::atomic<size_t> Sum{0};
+  Pool.parallelFor(100, [&](size_t I) { Sum.fetch_add(I + 1); });
+  EXPECT_EQ(Sum.load(), 5050u);
+}
+
+TEST(ThreadPool, ReusedAcrossManyCalls) {
+  ThreadPool Pool(4);
+  for (int Round = 0; Round != 10; ++Round) {
+    std::atomic<size_t> Sum{0};
+    Pool.parallelFor(64, [&](size_t I) { Sum.fetch_add(I); });
+    EXPECT_EQ(Sum.load(), 64u * 63u / 2);
+  }
+}
+
+} // namespace
