@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# The full CI gate, in dependency order:
+#   1. tier-1: default build + complete ctest suite
+#   2. sanitizer: AddressSanitizer build + complete ctest suite
+#   3. static analysis: scripts/lint.sh (clang-tidy if installed, plus the
+#      hetsim_lint memory-model linter over the shipped design space)
+#
+# Usage: scripts/ci.sh
+#
+# Environment:
+#   HETSIM_JOBS      worker threads per sweep (default: all cores)
+#   HETSIM_SKIP_ASAN set to 1 to skip gate 2 (e.g. on hosts without ASan)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "== gate 1: tier-1 build + tests =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS" >/dev/null
+ctest --test-dir build --output-on-failure -j "$JOBS" | tail -3
+
+if [ "${HETSIM_SKIP_ASAN:-0}" != "1" ]; then
+  echo "== gate 2: AddressSanitizer build + tests =="
+  cmake -B build-asan -S . -DHETSIM_SANITIZE=address >/dev/null
+  cmake --build build-asan -j "$JOBS" >/dev/null
+  ctest --test-dir build-asan --output-on-failure -j "$JOBS" | tail -3
+else
+  echo "== gate 2: skipped (HETSIM_SKIP_ASAN=1) =="
+fi
+
+echo "== gate 3: static analysis =="
+scripts/lint.sh build
+
+echo "ci: all gates passed"

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Static-analysis gate: clang-tidy over src/ (when clang-tidy is
+# installed) plus the hetsim_lint memory-model linter over every shipped
+# (system x kernel) design point. Fails on any diagnostic from either.
+#
+# Usage: scripts/lint.sh [builddir]   (default: build)
+#
+# Environment:
+#   HETSIM_JOBS  worker threads for hetsim_lint (default: all cores)
+set -euo pipefail
+BUILD="${1:-build}"
+
+if [ ! -f "$BUILD/CMakeCache.txt" ]; then
+  echo "lint: no build at $BUILD/ -- run: cmake -B $BUILD -S . && cmake --build $BUILD -j" >&2
+  exit 1
+fi
+
+STATUS=0
+
+echo "== clang-tidy =="
+if command -v clang-tidy >/dev/null 2>&1; then
+  if [ ! -f "$BUILD/compile_commands.json" ]; then
+    echo "lint: $BUILD/compile_commands.json missing -- reconfigure with cmake" >&2
+    exit 1
+  fi
+  # WarningsAsErrors='*' in .clang-tidy makes any diagnostic fatal.
+  mapfile -t SOURCES < <(find src -name '*.cpp' | sort)
+  if ! clang-tidy -p "$BUILD" --quiet "${SOURCES[@]}"; then
+    STATUS=1
+  fi
+else
+  echo "clang-tidy not installed; skipping (the memory-model lint below still runs)"
+fi
+
+echo "== hetsim_lint: shipped design space =="
+if [ ! -x "$BUILD/tools/hetsim_lint" ]; then
+  cmake --build "$BUILD" -j --target hetsim_lint >/dev/null
+fi
+if ! "$BUILD/tools/hetsim_lint" --all --jobs "${HETSIM_JOBS:-0}"; then
+  STATUS=1
+fi
+
+if [ "$STATUS" -ne 0 ]; then
+  echo "lint: FAILED" >&2
+else
+  echo "lint: clean"
+fi
+exit "$STATUS"

@@ -1,0 +1,76 @@
+//===- analysis/SweepLinter.cpp -------------------------------------------===//
+
+#include "analysis/SweepLinter.h"
+
+#include "common/ThreadPool.h"
+#include "core/ConsistencyValidation.h"
+
+#include <sstream>
+
+using namespace hetsim;
+
+unsigned SweepLintSummary::pointsWithErrors() const {
+  unsigned Count = 0;
+  for (const SweepLintResult &R : Results)
+    if (R.Report.errorCount() != 0)
+      ++Count;
+  return Count;
+}
+
+unsigned SweepLintSummary::pointsWithWarnings() const {
+  unsigned Count = 0;
+  for (const SweepLintResult &R : Results)
+    if (R.Report.warningCount() != 0)
+      ++Count;
+  return Count;
+}
+
+unsigned SweepLintSummary::disagreements() const {
+  unsigned Count = 0;
+  for (const SweepLintResult &R : Results)
+    if (R.disagreement())
+      ++Count;
+  return Count;
+}
+
+std::string SweepLintSummary::summary() const {
+  std::ostringstream Os;
+  Os << points() << " points linted: " << pointsWithErrors()
+     << " with errors, " << pointsWithWarnings() << " with warnings, "
+     << disagreements() << " static/dynamic disagreements";
+  return Os.str();
+}
+
+std::vector<SweepPoint> hetsim::shippedDesignSpace() {
+  std::vector<SweepPoint> Points;
+  for (CaseStudy Study : allCaseStudies())
+    for (KernelId Kernel : allKernels())
+      Points.emplace_back(SystemConfig::forCaseStudy(Study), Kernel);
+  const AddressSpaceKind Spaces[] = {
+      AddressSpaceKind::Unified, AddressSpaceKind::PartiallyShared,
+      AddressSpaceKind::Disjoint, AddressSpaceKind::Adsm};
+  for (AddressSpaceKind Space : Spaces)
+    for (KernelId Kernel : allKernels())
+      Points.emplace_back(SystemConfig::forAddressSpaceStudy(Space),
+                          Kernel);
+  return Points;
+}
+
+SweepLintSummary hetsim::lintSweep(const std::vector<SweepPoint> &Points,
+                                   unsigned Jobs,
+                                   ConsistencyModel Model) {
+  SweepLintSummary Summary;
+  Summary.Results.resize(Points.size());
+  ThreadPool Pool(Jobs);
+  Pool.parallelFor(Points.size(), [&](size_t I) {
+    SystemConfig Config = Points[I].Config;
+    Config.applyOverrides(Points[I].Overrides);
+    LoweredProgram Program = lowerKernel(Points[I].Kernel, Config);
+    SweepLintResult &R = Summary.Results[I];
+    R.System = Config.Name;
+    R.Kernel = Points[I].Kernel;
+    R.Report = lintProgram(Program, Config);
+    R.DynamicallyRaceFree = validateRaceFree(Program, Model);
+  });
+  return Summary;
+}

@@ -62,15 +62,15 @@ CacheConfig CacheConfig::sharedL3() {
   return C;
 }
 
-Cache::Cache(const CacheConfig &Config, uint64_t RngSeed)
-    : Config(Config), Rng(RngSeed) {
-  if (!this->Config.isValid())
+Cache::Cache(const CacheConfig &Cfg, uint64_t RngSeed)
+    : Config(Cfg), Rng(RngSeed) {
+  if (!Config.isValid())
     fatalError(("invalid cache geometry for " + Config.Name).c_str());
-  if (this->Config.MaxExplicitWays == 0)
-    this->Config.MaxExplicitWays = Config.Ways > 1 ? Config.Ways - 1 : 1;
-  NumSets = this->Config.numSets();
-  LineShift = log2Exact(this->Config.LineBytes);
-  Lines.resize(uint64_t(NumSets) * this->Config.Ways);
+  if (Config.MaxExplicitWays == 0)
+    Config.MaxExplicitWays = Config.Ways > 1 ? Config.Ways - 1 : 1;
+  NumSets = Config.numSets();
+  LineShift = log2Exact(Config.LineBytes);
+  Lines.resize(uint64_t(NumSets) * Config.Ways);
 }
 
 unsigned Cache::setIndex(Addr Address) const {

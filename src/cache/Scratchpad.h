@@ -21,9 +21,8 @@ namespace hetsim {
 /// the conflict degree.
 class Scratchpad {
 public:
-  Scratchpad(uint64_t SizeBytes, Cycle AccessLatency, unsigned NumBanks = 16)
-      : SizeBytes(SizeBytes), AccessLatency(AccessLatency),
-        NumBanks(NumBanks) {}
+  Scratchpad(uint64_t Size, Cycle Latency, unsigned Banks = 16)
+      : SizeBytes(Size), AccessLatency(Latency), NumBanks(Banks) {}
 
   /// Latency of a scalar access at \p Offset; aborts on out-of-bounds
   /// offsets (an explicit-management bug in the client).

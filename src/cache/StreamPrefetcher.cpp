@@ -6,8 +6,8 @@
 
 using namespace hetsim;
 
-StreamPrefetcher::StreamPrefetcher(const PrefetcherConfig &Config)
-    : Config(Config) {
+StreamPrefetcher::StreamPrefetcher(const PrefetcherConfig &Cfg)
+    : Config(Cfg) {
   Streams.resize(Config.NumStreams);
 }
 

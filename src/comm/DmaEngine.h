@@ -22,8 +22,8 @@ namespace hetsim {
 /// Asynchronous wrapper over a synchronous link.
 class DmaEngine final : public CommFabric {
 public:
-  DmaEngine(const CommParams &Params, std::unique_ptr<CommFabric> Link)
-      : Params(Params), Link(std::move(Link)) {}
+  DmaEngine(const CommParams &P, std::unique_ptr<CommFabric> Backend)
+      : Params(P), Link(std::move(Backend)) {}
 
   const char *name() const override { return "dma-async"; }
 

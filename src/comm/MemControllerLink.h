@@ -22,8 +22,8 @@ class MemControllerLink final : public CommFabric {
 public:
   /// \p Dram is the shared memory device (non-owning). \p ApiOverhead is
   /// the fixed software cost of initiating the copy.
-  MemControllerLink(DramSystem &Dram, Cycle ApiOverhead = 1000)
-      : Dram(Dram), ApiOverhead(ApiOverhead) {}
+  MemControllerLink(DramSystem &Device, Cycle Overhead = 1000)
+      : Dram(Device), ApiOverhead(Overhead) {}
 
   const char *name() const override { return "mem-controller"; }
 

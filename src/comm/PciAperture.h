@@ -23,8 +23,8 @@ public:
   /// \p WindowBytes is the user-space aperture window; Table III's largest
   /// initial transfer (512KB) fits the default, so LRB pays one api-tr per
   /// communication in the paper's runs.
-  PciAperture(const CommParams &Params, uint64_t WindowBytes = 1ull << 20)
-      : Params(Params), WindowBytes(WindowBytes) {}
+  PciAperture(const CommParams &P, uint64_t Window = 1ull << 20)
+      : Params(P), WindowBytes(Window) {}
 
   const char *name() const override { return "pci-aperture"; }
 

@@ -17,7 +17,7 @@ namespace hetsim {
 /// Synchronous PCI-E transfer fabric.
 class PciExpressLink final : public CommFabric {
 public:
-  explicit PciExpressLink(const CommParams &Params) : Params(Params) {}
+  explicit PciExpressLink(const CommParams &P) : Params(P) {}
 
   const char *name() const override { return "pci-e"; }
 

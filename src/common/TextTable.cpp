@@ -8,8 +8,8 @@
 
 using namespace hetsim;
 
-TextTable::TextTable(std::vector<std::string> Headers)
-    : Headers(std::move(Headers)) {}
+TextTable::TextTable(std::vector<std::string> Columns)
+    : Headers(std::move(Columns)) {}
 
 void TextTable::addRow(std::vector<std::string> Cells) {
   Cells.resize(Headers.size());

@@ -72,8 +72,9 @@ void ThreadPool::parallelFor(size_t N,
     size_t Pending; ///< Queued shares still running.
     std::exception_ptr Error;
 
-    Batch(const std::function<void(size_t)> &Fn, size_t N, size_t Shares)
-        : Fn(Fn), N(N), Pending(Shares) {}
+    Batch(const std::function<void(size_t)> &Work, size_t Count,
+          size_t Shares)
+        : Fn(Work), N(Count), Pending(Shares) {}
 
     void drain() {
       for (;;) {
@@ -100,7 +101,7 @@ void ThreadPool::parallelFor(size_t N,
     for (size_t I = 0; I != Shares; ++I)
       Queue.push_back([State] {
         State->drain();
-        std::lock_guard<std::mutex> Lock(State->Mutex);
+        std::lock_guard<std::mutex> BatchLock(State->Mutex);
         if (--State->Pending == 0)
           State->Done.notify_all();
       });

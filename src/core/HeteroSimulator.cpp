@@ -8,11 +8,14 @@
 #include "comm/PciExpressLink.h"
 #include "common/Error.h"
 #include "common/Units.h"
+#include "analysis/ProgramLinter.h"
+#include "common/Log.h"
 #include "core/ConsistencyValidation.h"
 #include "core/LocalityValidation.h"
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
 
 using namespace hetsim;
 
@@ -35,8 +38,7 @@ void accumulate(SegmentResult &Total, const SegmentResult &Part) {
 }
 } // namespace
 
-HeteroSimulator::HeteroSimulator(const SystemConfig &Config)
-    : Config(Config) {
+HeteroSimulator::HeteroSimulator(const SystemConfig &Cfg) : Config(Cfg) {
   buildMachine();
 }
 
@@ -89,7 +91,39 @@ RunResult HeteroSimulator::run(KernelId Kernel) {
   return runLowered(Program);
 }
 
+namespace {
+/// The pre-run lint hook is on by default; HETSIM_LINT=0 bypasses it
+/// (e.g. to run a deliberately broken lowering into the dynamic checker).
+bool lintEnabled() {
+  static const bool Enabled = [] {
+    const char *Env = std::getenv("HETSIM_LINT");
+    return Env == nullptr || std::string(Env) != "0";
+  }();
+  return Enabled;
+}
+} // namespace
+
 RunResult HeteroSimulator::runLowered(const LoweredProgram &Program) {
+  // Static pre-run validation: the memory-model linter proves the
+  // lowering legal for this design point before any cycles are spent.
+  // Errors are lowering bugs and abort the run; warnings (dead copies)
+  // are left to hetsim_lint so sweeps stay quiet.
+  if (Program.BuiltFromKernel && lintEnabled()) {
+    LintReport Report = lintProgram(Program, Config);
+    if (Report.errorCount() != 0) {
+      for (const LintDiagnostic &D : Report.Diags)
+        HETSIM_WARN("lint[%s/%s]: %s", Config.Name.c_str(),
+                    kernelName(Program.Kernel),
+                    D.render(D.StepIndex < Program.Steps.size()
+                                 ? execKindName(
+                                       Program.Steps[D.StepIndex].Kind)
+                                 : "end")
+                        .c_str());
+      fatalError("pre-run lint found memory-model hazards in the lowered "
+                 "program (set HETSIM_LINT=0 to bypass)");
+    }
+  }
+
   // Lowered kernel programs must be data-race-free under the weak
   // consistency model all evaluated systems use (Table I): the lowering
   // is responsible for inserting enough synchronization. A violation

@@ -60,12 +60,12 @@ namespace {
 /// Stateful helper that walks the abstract phases and appends steps.
 class LoweringContext {
 public:
-  LoweringContext(KernelId Kernel, const SystemConfig &Config)
-      : Kernel(Kernel), Config(Config) {
-    Program = KernelProgram::build(Kernel);
-    Out.Kernel = Kernel;
-    Out.Place = AddressSpaceModel::forKind(Config.AddrSpace).place(Kernel);
-    Out.Source = emitCommunicationSource(Kernel, Config.AddrSpace);
+  LoweringContext(KernelId K, const SystemConfig &Cfg)
+      : Kernel(K), Config(Cfg) {
+    Program = KernelProgram::build(K);
+    Out.Kernel = K;
+    Out.Place = AddressSpaceModel::forKind(Cfg.AddrSpace).place(K);
+    Out.Source = emitCommunicationSource(K, Cfg.AddrSpace);
 
     // ADSM uses the software (runtime) coherence protocol to decide
     // which kernel-boundary crossings actually move data (Section

@@ -33,8 +33,8 @@ void SweepTelemetry::merge(const SweepTelemetry &Other) {
   CacheMisses += Other.CacheMisses;
 }
 
-SweepRunner::SweepRunner(unsigned Jobs)
-    : Jobs(Jobs == 0 ? ThreadPool::defaultJobs() : Jobs) {}
+SweepRunner::SweepRunner(unsigned JobCount)
+    : Jobs(JobCount == 0 ? ThreadPool::defaultJobs() : JobCount) {}
 
 std::vector<RunResult>
 SweepRunner::run(const std::vector<SweepPoint> &Points) {

@@ -34,10 +34,8 @@ struct SweepPoint {
   ConfigStore Overrides;
 
   SweepPoint() = default;
-  SweepPoint(SystemConfig Config, KernelId Kernel,
-             ConfigStore Overrides = {})
-      : Config(std::move(Config)), Kernel(Kernel),
-        Overrides(std::move(Overrides)) {}
+  SweepPoint(SystemConfig Cfg, KernelId K, ConfigStore Store = {})
+      : Config(std::move(Cfg)), Kernel(K), Overrides(std::move(Store)) {}
 };
 
 /// Wall-clock telemetry of one sweep.

@@ -6,11 +6,11 @@
 
 using namespace hetsim;
 
-GsharePredictor::GsharePredictor(unsigned TableBits) : TableBits(TableBits) {
-  if (TableBits == 0 || TableBits > 24)
+GsharePredictor::GsharePredictor(unsigned Bits) : TableBits(Bits) {
+  if (Bits == 0 || Bits > 24)
     fatalError("gshare table size out of range");
   // Weakly taken: loops predict well immediately.
-  Counters.assign(1u << TableBits, 2);
+  Counters.assign(1u << Bits, 2);
 }
 
 unsigned GsharePredictor::index(Addr Pc) const {

@@ -29,8 +29,8 @@ CpiStack hetsim::computeCpiStack(const SegmentResult &Result,
   return Stack;
 }
 
-CpuCore::CpuCore(const CpuConfig &Config, MemorySystem &Mem)
-    : Config(Config), Mem(Mem), Predictor(Config.GshareTableBits),
+CpuCore::CpuCore(const CpuConfig &Cfg, MemorySystem &Memory)
+    : Config(Cfg), Mem(Memory), Predictor(Cfg.GshareTableBits),
       ICache(CacheConfig::cpuL1I(), /*RngSeed=*/23) {}
 
 SegmentResult CpuCore::run(const TraceBuffer &Trace, Cycle StartCycle) {

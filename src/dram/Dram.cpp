@@ -9,11 +9,11 @@
 
 using namespace hetsim;
 
-DramSystem::DramSystem(const DramConfig &Config) : Config(Config) {
-  if (!Config.isValid())
+DramSystem::DramSystem(const DramConfig &Cfg) : Config(Cfg) {
+  if (!Cfg.isValid())
     fatalError("invalid DRAM configuration");
-  Banks.resize(uint64_t(Config.Channels) * Config.BanksPerChannel);
-  ChannelBusFree.resize(Config.Channels, 0);
+  Banks.resize(uint64_t(Cfg.Channels) * Cfg.BanksPerChannel);
+  ChannelBusFree.resize(Cfg.Channels, 0);
 }
 
 unsigned DramSystem::channelOf(Addr LineAddress) const {

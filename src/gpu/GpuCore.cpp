@@ -12,9 +12,9 @@
 
 using namespace hetsim;
 
-GpuCore::GpuCore(const GpuConfig &Config, MemorySystem &Mem)
-    : Config(Config), Mem(Mem) {
-  if (Config.NumWarps == 0 || Config.IssueWidth == 0)
+GpuCore::GpuCore(const GpuConfig &Cfg, MemorySystem &Memory)
+    : Config(Cfg), Mem(Memory) {
+  if (Cfg.NumWarps == 0 || Cfg.IssueWidth == 0)
     fatalError("GPU needs at least one warp context and issue slot");
 }
 

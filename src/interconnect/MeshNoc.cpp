@@ -11,9 +11,8 @@
 
 using namespace hetsim;
 
-MeshNoc::MeshNoc(const MeshConfig &Config) : Config(Config) {
-  if (Config.Width == 0 || Config.Height == 0 ||
-      Config.Width * Config.Height < 2)
+MeshNoc::MeshNoc(const MeshConfig &Cfg) : Config(Cfg) {
+  if (Cfg.Width == 0 || Cfg.Height == 0 || Cfg.Width * Cfg.Height < 2)
     fatalError("mesh needs at least two nodes");
   PortFree.resize(numStops(), 0);
 }

@@ -11,10 +11,10 @@ using namespace hetsim;
 
 Interconnect::~Interconnect() = default;
 
-RingBus::RingBus(const RingConfig &Config) : Config(Config) {
-  if (Config.NumStops < 2)
+RingBus::RingBus(const RingConfig &Cfg) : Config(Cfg) {
+  if (Cfg.NumStops < 2)
     fatalError("ring bus needs at least two stops");
-  PortFree.resize(Config.NumStops, 0);
+  PortFree.resize(Cfg.NumStops, 0);
 }
 
 unsigned RingBus::hopCount(unsigned From, unsigned To) const {

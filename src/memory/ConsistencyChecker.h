@@ -75,7 +75,7 @@ struct ConsistencyViolation {
 /// Checks a history against a model.
 class ConsistencyChecker {
 public:
-  explicit ConsistencyChecker(ConsistencyModel Model) : Model(Model) {}
+  explicit ConsistencyChecker(ConsistencyModel M) : Model(M) {}
 
   /// Appends an event to the history.
   void addEvent(const SyncEvent &Event) { History.push_back(Event); }

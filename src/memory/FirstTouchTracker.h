@@ -20,8 +20,8 @@ namespace hetsim {
 /// Per-page first-touch tracking over an address range.
 class FirstTouchTracker {
 public:
-  FirstTouchTracker(Addr Base, uint64_t Bytes, uint64_t PageBytes)
-      : Base(Base), Bytes(Bytes), PageBytes(PageBytes) {}
+  FirstTouchTracker(Addr RangeBase, uint64_t RangeBytes, uint64_t PageSize)
+      : Base(RangeBase), Bytes(RangeBytes), PageBytes(PageSize) {}
 
   /// Records an access to \p Address; returns true exactly once per page
   /// (the first touch, i.e. a page fault).

@@ -42,8 +42,8 @@ class HybridCoherenceMap {
 public:
   /// Regions not covered by any assignment default to \p Default.
   explicit HybridCoherenceMap(
-      CoherenceDomain Default = CoherenceDomain::Hardware)
-      : Default(Default) {}
+      CoherenceDomain Fallback = CoherenceDomain::Hardware)
+      : Default(Fallback) {}
 
   /// Assigns [Base, Base+Bytes) to \p Domain (overrides earlier
   /// assignments for addresses it covers).

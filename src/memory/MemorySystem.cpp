@@ -11,28 +11,27 @@
 
 using namespace hetsim;
 
-MemorySystem::MemorySystem(const MemHierConfig &Config)
-    : Config(Config), CpuMshr(Config.CpuMshrs),
-      GpuMshr(Config.GpuMshrs),
-      CpuTlb(Config.CpuTlbEntries, Config.TlbWays, Config.CpuPageBytes),
-      GpuTlb(Config.GpuTlbEntries, Config.TlbWays, Config.GpuPageBytes),
-      CpuPhys("cpu.dram", Config.DeviceBytes),
-      GpuPhys("gpu.dram", Config.DeviceBytes),
-      CpuPt(PuKind::Cpu, Config.CpuPageBytes),
-      GpuPt(PuKind::Gpu, Config.GpuPageBytes),
-      Smem(Config.ScratchpadBytes, Config.ScratchpadLatency),
-      Prefetcher(Config.Prefetch) {
-  if (Config.UseMeshNoc)
-    Noc = std::make_unique<MeshNoc>(Config.Mesh);
+MemorySystem::MemorySystem(const MemHierConfig &Cfg)
+    : Config(Cfg), CpuMshr(Cfg.CpuMshrs), GpuMshr(Cfg.GpuMshrs),
+      CpuTlb(Cfg.CpuTlbEntries, Cfg.TlbWays, Cfg.CpuPageBytes),
+      GpuTlb(Cfg.GpuTlbEntries, Cfg.TlbWays, Cfg.GpuPageBytes),
+      CpuPhys("cpu.dram", Cfg.DeviceBytes),
+      GpuPhys("gpu.dram", Cfg.DeviceBytes),
+      CpuPt(PuKind::Cpu, Cfg.CpuPageBytes),
+      GpuPt(PuKind::Gpu, Cfg.GpuPageBytes),
+      Smem(Cfg.ScratchpadBytes, Cfg.ScratchpadLatency),
+      Prefetcher(Cfg.Prefetch) {
+  if (Cfg.UseMeshNoc)
+    Noc = std::make_unique<MeshNoc>(Cfg.Mesh);
   else
-    Noc = std::make_unique<RingBus>(Config.Ring);
-  CpuL1 = std::make_unique<Cache>(Config.CpuL1, /*RngSeed=*/11);
-  CpuL2 = std::make_unique<Cache>(Config.CpuL2, /*RngSeed=*/13);
-  GpuL1 = std::make_unique<Cache>(Config.GpuL1, /*RngSeed=*/17);
-  L3 = std::make_unique<Cache>(Config.L3, /*RngSeed=*/19);
-  CpuDram = std::make_unique<DramSystem>(Config.Dram);
-  if (Config.SeparateGpuDram)
-    GpuDramDevice = std::make_unique<DramSystem>(Config.Dram);
+    Noc = std::make_unique<RingBus>(Cfg.Ring);
+  CpuL1 = std::make_unique<Cache>(Cfg.CpuL1, /*RngSeed=*/11);
+  CpuL2 = std::make_unique<Cache>(Cfg.CpuL2, /*RngSeed=*/13);
+  GpuL1 = std::make_unique<Cache>(Cfg.GpuL1, /*RngSeed=*/17);
+  L3 = std::make_unique<Cache>(Cfg.L3, /*RngSeed=*/19);
+  CpuDram = std::make_unique<DramSystem>(Cfg.Dram);
+  if (Cfg.SeparateGpuDram)
+    GpuDramDevice = std::make_unique<DramSystem>(Cfg.Dram);
 }
 
 DramSystem &MemorySystem::gpuDram() {

@@ -156,9 +156,7 @@ public:
                    Cycle RemapCyclesPerPage = 300);
 
   /// Attaches shared-space policies (non-owning).
-  void setSharedPolicy(const SharedSpacePolicy &Policy) {
-    this->Policy = Policy;
-  }
+  void setSharedPolicy(const SharedSpacePolicy &P) { Policy = P; }
 
   /// Component access for tests, benches, and the comm fabrics.
   Cache &cpuL1() { return *CpuL1; }

@@ -17,9 +17,9 @@ Addr PhysicalMemory::allocate(uint64_t Bytes, uint64_t Align) {
   return Base;
 }
 
-PageTable::PageTable(PuKind Owner, uint64_t PageBytes)
-    : Owner(Owner), PageBytes(PageBytes) {
-  if (!isPowerOf2(PageBytes) || PageBytes < 512)
+PageTable::PageTable(PuKind OwningPu, uint64_t PageSize)
+    : Owner(OwningPu), PageBytes(PageSize) {
+  if (!isPowerOf2(PageSize) || PageSize < 512)
     fatalError("invalid page size");
 }
 

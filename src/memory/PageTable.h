@@ -24,8 +24,8 @@ namespace hetsim {
 /// or a single unified DRAM).
 class PhysicalMemory {
 public:
-  PhysicalMemory(std::string Name, uint64_t SizeBytes)
-      : Name(std::move(Name)), SizeBytes(SizeBytes) {}
+  PhysicalMemory(std::string DeviceName, uint64_t Capacity)
+      : Name(std::move(DeviceName)), SizeBytes(Capacity) {}
 
   /// Allocates \p Bytes aligned to \p Align; aborts when exhausted (the
   /// simulator sizes devices generously; exhaustion is a setup bug).

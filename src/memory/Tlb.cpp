@@ -6,12 +6,12 @@
 
 using namespace hetsim;
 
-Tlb::Tlb(unsigned NumEntries, unsigned Ways, uint64_t PageBytes)
-    : Ways(Ways), PageBytes(PageBytes) {
-  if (Ways == 0 || NumEntries % Ways != 0 || !isPowerOf2(NumEntries / Ways) ||
-      !isPowerOf2(PageBytes))
+Tlb::Tlb(unsigned NumEntries, unsigned NumWays, uint64_t PageSize)
+    : Ways(NumWays), PageBytes(PageSize) {
+  if (NumWays == 0 || NumEntries % NumWays != 0 ||
+      !isPowerOf2(NumEntries / NumWays) || !isPowerOf2(PageSize))
     fatalError("invalid TLB geometry");
-  NumSets = NumEntries / Ways;
+  NumSets = NumEntries / NumWays;
   Entries.resize(NumEntries);
 }
 

@@ -42,9 +42,9 @@ struct GenRequest {
 /// instruction budget is reached, so generator loop bodies never overshoot.
 class TraceEmitter {
 public:
-  TraceEmitter(TraceBuffer &Buffer, uint64_t Budget)
-      : Buffer(Buffer), Remaining(Budget) {
-    Buffer.reserve(Buffer.size() + Budget);
+  TraceEmitter(TraceBuffer &Out, uint64_t Budget)
+      : Buffer(Out), Remaining(Budget) {
+    Out.reserve(Out.size() + Budget);
   }
 
   bool done() const { return Remaining == 0; }

@@ -28,8 +28,8 @@ void putU16(std::string &Out, uint16_t Value) {
 
 class ByteReader {
 public:
-  explicit ByteReader(const std::string &Bytes, size_t Start = 0)
-      : Bytes(Bytes), Pos(Start) {}
+  explicit ByteReader(const std::string &Data, size_t Start = 0)
+      : Bytes(Data), Pos(Start) {}
 
   bool u64(uint64_t &Out) {
     if (Pos + 8 > Bytes.size())

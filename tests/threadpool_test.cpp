@@ -23,13 +23,13 @@ namespace {
 /// RAII helper: set an environment variable for one test, restore after.
 class ScopedEnv {
 public:
-  ScopedEnv(const char *Name, const char *Value) : Name(Name) {
-    const char *Old = std::getenv(Name);
+  ScopedEnv(const char *Var, const char *Value) : Name(Var) {
+    const char *Old = std::getenv(Var);
     if (Old) {
       HadOld = true;
       OldValue = Old;
     }
-    ::setenv(Name, Value, 1);
+    ::setenv(Var, Value, 1);
   }
   ~ScopedEnv() {
     if (HadOld)

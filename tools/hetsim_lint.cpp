@@ -1,0 +1,192 @@
+//===- tools/hetsim_lint.cpp - Memory-model linter front end --------------===//
+///
+/// \file
+/// The `hetsim_lint` command-line tool: static race/hazard analysis over
+/// lowered programs, before any cycle simulation runs.
+///
+///   hetsim_lint [--all] [--jobs N] [--model weak|release|strong]
+///   hetsim_lint --system LRB --kernel reduction [--dot] [key=value ...]
+///
+/// Without --system/--kernel the tool lints the whole shipped design
+/// space (five case studies plus four address-space studies, across all
+/// six kernels) and cross-checks every verdict against the dynamic
+/// ConsistencyChecker. The exit status is nonzero on any diagnostic or
+/// any static/dynamic disagreement, so scripts/lint.sh can gate on it.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/SweepLinter.h"
+#include "core/ConsistencyValidation.h"
+#include "core/Experiments.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+using namespace hetsim;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  hetsim_lint [--all] [--jobs N] [--model weak|release|strong]\n"
+      "  hetsim_lint --system <name> --kernel <name> [--dot]\n"
+      "          [--model weak|release|strong] [key=value ...]\n"
+      "systems: CPU+GPU LRB GMAC Fusion IDEAL-HETERO UNI PAS DIS ADSM\n");
+  return 2;
+}
+
+bool systemByName(const std::string &Name, SystemConfig &Out,
+                  const ConfigStore &Overrides) {
+  for (CaseStudy Study : allCaseStudies()) {
+    if (Name == caseStudyName(Study)) {
+      Out = SystemConfig::forCaseStudy(Study, Overrides);
+      return true;
+    }
+  }
+  static const AddressSpaceKind Kinds[] = {
+      AddressSpaceKind::Unified, AddressSpaceKind::PartiallyShared,
+      AddressSpaceKind::Disjoint, AddressSpaceKind::Adsm};
+  for (AddressSpaceKind Kind : Kinds) {
+    if (Name == addressSpaceShortName(Kind)) {
+      Out = SystemConfig::forAddressSpaceStudy(Kind, Overrides);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool modelByName(const std::string &Name, ConsistencyModel &Out) {
+  if (Name == "weak") {
+    Out = ConsistencyModel::Weak;
+    return true;
+  }
+  if (Name == "release") {
+    Out = ConsistencyModel::CentralizedRelease;
+    return true;
+  }
+  if (Name == "strong") {
+    Out = ConsistencyModel::Strong;
+    return true;
+  }
+  return false;
+}
+
+int lintAll(unsigned Jobs, ConsistencyModel Model) {
+  SweepLintSummary Summary = lintSweep(shippedDesignSpace(), Jobs, Model);
+  unsigned Diagnostics = 0;
+  for (const SweepLintResult &R : Summary.Results) {
+    if (R.Report.clean() && !R.disagreement())
+      continue;
+    // Re-lower for rendering: the sweep keeps only the verdicts.
+    SystemConfig Config;
+    ConfigStore Empty;
+    if (!systemByName(R.System, Config, Empty))
+      Config = SystemConfig::forCaseStudy(CaseStudy::CpuGpu);
+    LoweredProgram Program = lowerKernel(R.Kernel, Config);
+    std::printf("%s / %s:\n", R.System.c_str(), kernelName(R.Kernel));
+    std::printf("%s", renderReport(R.Report, Program).c_str());
+    if (R.disagreement())
+      std::printf("  disagreement: static-clean but dynamically racy "
+                  "under %s consistency\n",
+                  consistencyModelName(Model));
+    Diagnostics += unsigned(R.Report.Diags.size());
+  }
+  std::printf("%s\n", Summary.summary().c_str());
+  return (Diagnostics == 0 && Summary.disagreements() == 0) ? 0 : 1;
+}
+
+int lintPoint(const SystemConfig &Config, KernelId Kernel, bool Dot,
+              ConsistencyModel Model) {
+  LoweredProgram Program = lowerKernel(Kernel, Config);
+  if (Dot) {
+    HbGraph Graph = HbGraph::build(Program, Config);
+    std::printf("%s", Graph.renderDot(Program).c_str());
+    return 0;
+  }
+  LintReport Report = lintProgram(Program, Config);
+  bool RaceFree = validateRaceFree(Program, Model);
+  std::printf("%s / %s: %u error(s), %u warning(s); dynamic replay %s\n",
+              Config.Name.c_str(), kernelName(Kernel),
+              Report.errorCount(), Report.warningCount(),
+              RaceFree ? "race-free" : "RACY");
+  std::printf("%s", renderReport(Report, Program).c_str());
+  if (Report.errorCount() == 0 && !RaceFree) {
+    std::printf("disagreement: static-clean but dynamically racy under "
+                "%s consistency\n",
+                consistencyModelName(Model));
+    return 1;
+  }
+  return Report.clean() ? 0 : 1;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string System;
+  std::string Kernel;
+  std::string ModelName = "weak";
+  ConfigStore Overrides;
+  unsigned Jobs = 0;
+  bool Dot = false;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto TakeValue = [&](std::string &Out) {
+      if (I + 1 >= Argc)
+        return false;
+      Out = Argv[++I];
+      return true;
+    };
+    std::string Value;
+    if (Arg == "--all") {
+      // The default mode; accepted for explicitness.
+    } else if (Arg == "--system") {
+      if (!TakeValue(System))
+        return usage();
+    } else if (Arg == "--kernel") {
+      if (!TakeValue(Kernel))
+        return usage();
+    } else if (Arg == "--model") {
+      if (!TakeValue(ModelName))
+        return usage();
+    } else if (Arg == "--jobs") {
+      if (!TakeValue(Value))
+        return usage();
+      Jobs = unsigned(std::strtoul(Value.c_str(), nullptr, 0));
+    } else if (Arg == "--dot") {
+      Dot = true;
+    } else if (Arg.find('=') != std::string::npos) {
+      if (!Overrides.parseAssignment(Arg))
+        return usage();
+    } else {
+      return usage();
+    }
+  }
+
+  ConsistencyModel Model;
+  if (!modelByName(ModelName, Model)) {
+    std::fprintf(stderr, "error: unknown consistency model '%s'\n",
+                 ModelName.c_str());
+    return 2;
+  }
+
+  if (System.empty() != Kernel.empty())
+    return usage();
+  if (System.empty())
+    return lintAll(Jobs, Model);
+
+  SystemConfig Config;
+  if (!systemByName(System, Config, Overrides)) {
+    std::fprintf(stderr, "error: unknown system '%s'\n", System.c_str());
+    return 2;
+  }
+  KernelId Id;
+  if (!kernelByName(Kernel.c_str(), Id)) {
+    std::fprintf(stderr, "error: unknown kernel '%s'\n", Kernel.c_str());
+    return 2;
+  }
+  return lintPoint(Config, Id, Dot, Model);
+}
