@@ -31,4 +31,19 @@ fi
 echo "== gate 3: static analysis =="
 scripts/lint.sh build
 
+echo "== gate 4: metrics smoke =="
+# One sweep point must emit a schema-valid metrics document that passes
+# the DRAM traffic-conservation audit, plus a Chrome trace file.
+SMOKE_DIR="build/obs-smoke"
+rm -rf "$SMOKE_DIR"
+mkdir -p "$SMOKE_DIR"
+HETSIM_TRACE_EVENTS="$SMOKE_DIR" build/tools/hetsim run --system Fusion \
+  --kernel reduction --metrics "$SMOKE_DIR/metrics.json" >/dev/null
+build/tools/hetsim_stats validate "$SMOKE_DIR/metrics.json"
+build/tools/hetsim_stats audit "$SMOKE_DIR/metrics.json"
+[ -s "$SMOKE_DIR/Fusion_reduction.trace.json" ] || {
+  echo "ci: missing trace-event file" >&2
+  exit 1
+}
+
 echo "ci: all gates passed"

@@ -16,7 +16,8 @@ void MshrFile::prune(Cycle Now) {
   }
 }
 
-MshrDecision MshrFile::onMiss(Addr LineAddress, Cycle Now, Cycle FillDone) {
+MshrDecision MshrFile::onMiss(Addr LineAddress, Cycle Now, Cycle FillDone,
+                              Cycle MinReady) {
   assert(FillDone >= Now && "fill completes in the past");
   MshrDecision Decision;
   prune(Now);
@@ -25,7 +26,10 @@ MshrDecision MshrFile::onMiss(Addr LineAddress, Cycle Now, Cycle FillDone) {
   if (It != Entries.end()) {
     ++Merged;
     Decision.Merged = true;
-    Decision.ReadyCycle = It->second;
+    // The merged access still pays its own pre-miss latency (TLB walk,
+    // page fault): the in-flight fill supplies the data, not a time
+    // machine.
+    Decision.ReadyCycle = std::max(It->second, MinReady);
     return Decision;
   }
 

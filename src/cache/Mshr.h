@@ -34,8 +34,12 @@ public:
 
   /// Records a miss on \p LineAddress observed at \p Now that would
   /// complete at \p FillDone if it issues immediately. Handles merging and
-  /// full-file stalls; returns the final decision.
-  MshrDecision onMiss(Addr LineAddress, Cycle Now, Cycle FillDone);
+  /// full-file stalls; returns the final decision. \p MinReady floors the
+  /// merged ReadyCycle: a merging access may have already accrued latency
+  /// of its own (TLB miss, page fault) that an earlier, cheaper fill must
+  /// not erase.
+  MshrDecision onMiss(Addr LineAddress, Cycle Now, Cycle FillDone,
+                      Cycle MinReady = 0);
 
   /// Number of entries still in flight at \p Now (lazily pruned).
   unsigned inFlight(Cycle Now);

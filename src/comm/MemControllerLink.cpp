@@ -2,6 +2,7 @@
 
 #include "comm/MemControllerLink.h"
 
+#include "common/Stats.h"
 #include "dram/Dram.h"
 
 using namespace hetsim;
@@ -11,6 +12,17 @@ TransferTiming MemControllerLink::transfer(uint64_t Bytes, TransferDir,
   note(Bytes);
   TransferTiming T;
   uint64_t Lines = Bytes == 0 ? 0 : ceilDiv(Bytes, CacheLineBytes);
+
+  // The memory system drains its own background (writeback/prefetch)
+  // traffic at its boundaries, so the queue is normally empty here. If an
+  // external producer still left requests behind, drain them now on their
+  // own time: stale backlog must never be billed to this transfer's
+  // CpuBusyCycles.
+  if (size_t Stale = Dram.queuedRequests()) {
+    Dram.drainFrFcfs(NowCpu);
+    if (Stats)
+      Stats->counterRef("dram.cpu.stale_drained") += Stale;
+  }
 
   // A read of the source line and a write of the destination line per
   // 64B, streamed through the controllers under FR-FCFS. Source and
@@ -22,6 +34,8 @@ TransferTiming MemControllerLink::transfer(uint64_t Bytes, TransferDir,
     Dram.enqueue(Line + (1ull << 33), /*IsWrite=*/true);
   }
   NextSrc += Lines * CacheLineBytes;
+  if (Stats && Lines != 0)
+    Stats->counterRef("dram.cpu.transfer_reqs") += 2 * Lines;
 
   Cycle Start = NowCpu + ApiOverhead;
   Cycle Done = Lines == 0 ? Start : Dram.drainFrFcfs(Start);

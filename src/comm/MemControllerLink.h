@@ -16,14 +16,18 @@
 namespace hetsim {
 
 class DramSystem;
+class StatRegistry;
 
 /// Memory-controller transfer fabric backed by the DRAM model.
 class MemControllerLink final : public CommFabric {
 public:
   /// \p Dram is the shared memory device (non-owning). \p ApiOverhead is
-  /// the fixed software cost of initiating the copy.
-  MemControllerLink(DramSystem &Device, Cycle Overhead = 1000)
-      : Dram(Device), ApiOverhead(Overhead) {}
+  /// the fixed software cost of initiating the copy. \p Registry, when
+  /// given, receives the conservation counters ("dram.cpu.transfer_reqs",
+  /// "dram.cpu.stale_drained") for the device's traffic audit.
+  MemControllerLink(DramSystem &Device, Cycle Overhead = 1000,
+                    StatRegistry *Registry = nullptr)
+      : Dram(Device), Stats(Registry), ApiOverhead(Overhead) {}
 
   const char *name() const override { return "mem-controller"; }
 
@@ -32,6 +36,7 @@ public:
 
 private:
   DramSystem &Dram;
+  StatRegistry *Stats;
   Cycle ApiOverhead;
   Addr NextSrc = 0x200000000ull; // Staging addresses for the line stream.
 };

@@ -4,7 +4,42 @@
 
 #include "common/StringUtil.h"
 
+#include <bit>
+
 using namespace hetsim;
+
+void StatHistogram::addSample(uint64_t Value) {
+  unsigned Bucket = unsigned(std::bit_width(Value));
+  if (Bucket >= NumBuckets)
+    Bucket = NumBuckets - 1;
+  ++Buckets[Bucket];
+  if (Count == 0) {
+    Min = Value;
+    Max = Value;
+  } else {
+    if (Value < Min)
+      Min = Value;
+    if (Value > Max)
+      Max = Value;
+  }
+  ++Count;
+  Sum += Value;
+}
+
+void StatHistogram::reset() { *this = StatHistogram(); }
+
+uint64_t StatHistogram::approxPercentile(double Fraction) const {
+  if (Count == 0)
+    return 0;
+  uint64_t Target = uint64_t(Fraction * double(Count));
+  uint64_t Seen = 0;
+  for (unsigned B = 0; B != NumBuckets; ++B) {
+    Seen += Buckets[B];
+    if (Seen > Target)
+      return B == 0 ? 0 : (1ull << B) - 1; // Upper edge of bucket B.
+  }
+  return Max;
+}
 
 void StatDistribution::addSample(double Value) {
   if (Count == 0) {
@@ -29,6 +64,27 @@ void StatDistribution::reset() {
 
 void StatRegistry::increment(const std::string &Name, uint64_t Delta) {
   Counters[Name] += Delta;
+}
+
+uint64_t &StatRegistry::counterRef(const std::string &Name) {
+  return Counters[Name];
+}
+
+StatHistogram &StatRegistry::histogramRef(const std::string &Name) {
+  return Histograms[Name];
+}
+
+const StatHistogram &StatRegistry::histogram(const std::string &Name) const {
+  auto It = Histograms.find(Name);
+  return It == Histograms.end() ? EmptyHistogram : It->second;
+}
+
+std::vector<std::string> StatRegistry::histogramNames() const {
+  std::vector<std::string> Names;
+  Names.reserve(Histograms.size());
+  for (const auto &KV : Histograms)
+    Names.push_back(KV.first);
+  return Names;
 }
 
 void StatRegistry::setCounter(const std::string &Name, uint64_t Value) {
@@ -72,6 +128,7 @@ StatRegistry::countersWithPrefix(const std::string &Prefix) const {
 void StatRegistry::reset() {
   Counters.clear();
   Distributions.clear();
+  Histograms.clear();
 }
 
 std::string StatRegistry::renderCounters() const {

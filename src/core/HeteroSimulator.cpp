@@ -30,6 +30,7 @@ void accumulate(SegmentResult &Total, const SegmentResult &Part) {
   Total.Insts += Part.Insts;
   Total.MemAccesses += Part.MemAccesses;
   Total.MemLatencySum += Part.MemLatencySum;
+  Total.MemLatencyMax = std::max(Total.MemLatencyMax, Part.MemLatencyMax);
   Total.BranchMispredicts += Part.BranchMispredicts;
   Total.ICacheMisses += Part.ICacheMisses;
   Total.StoreForwards += Part.StoreForwards;
@@ -74,12 +75,14 @@ std::unique_ptr<CommFabric> HeteroSimulator::buildFabric() {
     return Link;
   }
   case ConnectionKind::MemoryController:
-    return std::make_unique<MemControllerLink>(Mem->cpuDram());
+    return std::make_unique<MemControllerLink>(Mem->cpuDram(), 1000,
+                                               &Mem->stats());
   case ConnectionKind::Interconnection:
   case ConnectionKind::CacheFsb:
   case ConnectionKind::Bus:
     // Modeled as a memory-controller-class on-chip path.
-    return std::make_unique<MemControllerLink>(Mem->cpuDram());
+    return std::make_unique<MemControllerLink>(Mem->cpuDram(), 1000,
+                                               &Mem->stats());
   case ConnectionKind::None:
     return nullptr;
   }
@@ -141,6 +144,17 @@ RunResult HeteroSimulator::runLowered(const LoweredProgram &Program) {
   // Fresh machine per run: runs must not contaminate each other.
   buildMachine();
 
+  // Timeline recording (cheap; capped). Background DRAM drains happen
+  // deep inside the memory system, which cannot depend on obs — they
+  // reach the timeline through the hook.
+  Trace.clear();
+  Mem->setBgDrainHook([this](const MemorySystem::BgDrainEvent &E) {
+    Trace.complete(TraceTrack::Dram, "bg_drain",
+                   cyclesToNs(PuKind::Cpu, E.StartCpu) / 1000.0,
+                   cyclesToNs(PuKind::Cpu, E.DurationCpu) / 1000.0,
+                   "requests", E.Requests);
+  });
+
   RunResult Result;
   Result.CommSourceLines = Program.Source.lineCount();
 
@@ -169,8 +183,13 @@ RunResult HeteroSimulator::runLowered(const LoweredProgram &Program) {
   Cycle CpuNow = 0; // Absolute time in CPU cycles.
   TimeBreakdown &Time = Result.Time;
 
-  auto ChargeComm = [&](Cycle CpuCycles) {
-    Time.CommunicationNs += cyclesToNs(PuKind::Cpu, CpuCycles);
+  // Trace-event timestamps are microseconds of simulated time.
+  auto CpuUs = [](Cycle C) { return cyclesToNs(PuKind::Cpu, C) / 1000.0; };
+
+  auto ChargeComm = [&](RunPhase Phase, Cycle CpuCycles) {
+    double Ns = cyclesToNs(PuKind::Cpu, CpuCycles);
+    Time.CommunicationNs += Ns;
+    Result.Phases.add(Phase, Ns);
     CpuNow += CpuCycles;
   };
 
@@ -179,7 +198,11 @@ RunResult HeteroSimulator::runLowered(const LoweredProgram &Program) {
     case ExecKind::SerialCompute: {
       SegmentResult Seg = Cpu->run(Step.CpuTrace, CpuNow);
       accumulate(Result.CpuTotal, Seg);
-      Time.SequentialNs += cyclesToNs(PuKind::Cpu, Seg.Cycles);
+      double SegNs = cyclesToNs(PuKind::Cpu, Seg.Cycles);
+      Time.SequentialNs += SegNs;
+      Result.Phases.add(RunPhase::SerialCompute, SegNs);
+      Trace.complete(TraceTrack::Cpu, "serial_compute", CpuUs(CpuNow),
+                     SegNs / 1000.0, "insts", Seg.Insts);
       // In-flight async copies (ADSM lazy paging) overlap the serial
       // pass; only time beyond it is exposed as communication.
       Cycle Span = Seg.Cycles;
@@ -188,7 +211,12 @@ RunResult HeteroSimulator::runLowered(const LoweredProgram &Program) {
         if (Busy > CpuNow + Seg.Cycles)
           Span = Busy - CpuNow;
       }
-      Time.CommunicationNs += cyclesToNs(PuKind::Cpu, Span - Seg.Cycles);
+      double ExposedNs = cyclesToNs(PuKind::Cpu, Span - Seg.Cycles);
+      Time.CommunicationNs += ExposedNs;
+      Result.Phases.add(RunPhase::CopyOverlapStall, ExposedNs);
+      if (Span > Seg.Cycles)
+        Trace.complete(TraceTrack::Fabric, "async_copy_exposed",
+                       CpuUs(CpuNow + Seg.Cycles), ExposedNs / 1000.0);
       CpuNow += Span;
       break;
     }
@@ -263,6 +291,26 @@ RunResult HeteroSimulator::runLowered(const LoweredProgram &Program) {
       double ComputeSpanNs = std::max(CpuNs, GpuNs);
       Time.ParallelNs += ComputeSpanNs;
       Time.CommunicationNs += SpanNs - ComputeSpanNs;
+      Result.Phases.add(RunPhase::ParallelCompute, ComputeSpanNs);
+      // The exposed (non-compute) slice of the round is page-fault
+      // handling first, residual copy/queueing stall after.
+      double ExtraNs = SpanNs - ComputeSpanNs;
+      double FaultAttrNs = std::min(FaultNs, ExtraNs);
+      Result.Phases.add(RunPhase::PageFault, FaultAttrNs);
+      Result.Phases.add(RunPhase::CopyOverlapStall, ExtraNs - FaultAttrNs);
+
+      double StartNs = cyclesToNs(PuKind::Cpu, CpuNow);
+      if (CpuSeg.Cycles != 0)
+        Trace.complete(TraceTrack::Cpu, "parallel_compute", StartNs / 1000.0,
+                       CpuNs / 1000.0, "insts", CpuSeg.Insts);
+      if (GpuSeg.Cycles != 0)
+        Trace.complete(TraceTrack::Gpu, "parallel_compute",
+                       (StartNs + DelayNs) / 1000.0, GpuNs / 1000.0, "insts",
+                       GpuSeg.Insts);
+      if (FaultAttrNs > 0)
+        Trace.complete(TraceTrack::Driver, "page_faults",
+                       (StartNs + DelayNs + GpuNs) / 1000.0,
+                       FaultAttrNs / 1000.0, "pages", Step.PageFaultPages);
       CpuNow += nsToCycles(PuKind::Cpu, SpanNs);
       break;
     }
@@ -270,20 +318,29 @@ RunResult HeteroSimulator::runLowered(const LoweredProgram &Program) {
     case ExecKind::Transfer: {
       ++Result.TransferCount;
       Result.TransferredBytes += Step.Bytes;
+      Cycle TransferStart = CpuNow;
       if (!Fabric) {
         // Ideal communication: only the data-handling instructions.
         Cycle Ops = std::max<Cycle>(1, Step.Objects.size());
-        ChargeComm(Ops * IdealCommCyclesPerOp);
-        break;
+        ChargeComm(RunPhase::Transfer, Ops * IdealCommCyclesPerOp);
+      } else {
+        TransferTiming Timing =
+            Fabric->transfer(Step.Bytes, Step.Dir, CpuNow);
+        ChargeComm(RunPhase::Transfer, Timing.CpuBusyCycles);
       }
-      TransferTiming Timing = Fabric->transfer(Step.Bytes, Step.Dir, CpuNow);
-      ChargeComm(Timing.CpuBusyCycles);
+      Trace.complete(TraceTrack::Fabric, "transfer", CpuUs(TransferStart),
+                     CpuUs(CpuNow - TransferStart), "bytes", Step.Bytes);
       break;
     }
 
     case ExecKind::DmaWait: {
-      if (Fabric)
-        ChargeComm(Fabric->waitAll(CpuNow));
+      if (Fabric) {
+        Cycle WaitStart = CpuNow;
+        ChargeComm(RunPhase::DmaWait, Fabric->waitAll(CpuNow));
+        if (CpuNow > WaitStart)
+          Trace.complete(TraceTrack::Fabric, "dma_wait", CpuUs(WaitStart),
+                         CpuUs(CpuNow - WaitStart));
+      }
       break;
     }
 
@@ -297,8 +354,13 @@ RunResult HeteroSimulator::runLowered(const LoweredProgram &Program) {
         Ownership.acquire(Name, PuKind::Gpu);
       }
       Result.OwnershipActions += Step.Objects.empty() ? 0 : 2;
-      ChargeComm(Config.IdealComm ? IdealCommCyclesPerOp
-                                  : Config.Comm.ApiAcquire);
+      Cycle OwnStart = CpuNow;
+      ChargeComm(RunPhase::Ownership, Config.IdealComm
+                                          ? IdealCommCyclesPerOp
+                                          : Config.Comm.ApiAcquire);
+      Trace.complete(TraceTrack::Driver, "ownership_to_gpu", CpuUs(OwnStart),
+                     CpuUs(CpuNow - OwnStart), "objects",
+                     Step.Objects.size());
       break;
     }
 
@@ -312,8 +374,13 @@ RunResult HeteroSimulator::runLowered(const LoweredProgram &Program) {
       Result.OwnershipActions += Step.Objects.empty() ? 0 : 2;
       // Release semantics: the GPU's dirty shared lines become visible.
       Mem->flushPrivate(PuKind::Gpu);
-      ChargeComm(Config.IdealComm ? IdealCommCyclesPerOp
-                                  : Config.Comm.ApiAcquire);
+      Cycle OwnStart = CpuNow;
+      ChargeComm(RunPhase::Ownership, Config.IdealComm
+                                          ? IdealCommCyclesPerOp
+                                          : Config.Comm.ApiAcquire);
+      Trace.complete(TraceTrack::Driver, "ownership_to_cpu", CpuUs(OwnStart),
+                     CpuUs(CpuNow - OwnStart), "objects",
+                     Step.Objects.size());
       break;
     }
 
@@ -325,19 +392,79 @@ RunResult HeteroSimulator::runLowered(const LoweredProgram &Program) {
                                   CpuNow + Cost);
       }
       Result.PushNs += cyclesToNs(PuKind::Cpu, Cost);
-      ChargeComm(Cost);
+      Cycle PushStart = CpuNow;
+      ChargeComm(RunPhase::Push, Cost);
+      Trace.complete(TraceTrack::Driver, "push_locality", CpuUs(PushStart),
+                     CpuUs(Cost), "objects", Step.Objects.size());
       break;
     }
     }
   }
 
-  if (Fabric)
-    ChargeComm(Fabric->waitAll(CpuNow));
+  if (Fabric) {
+    Cycle WaitStart = CpuNow;
+    ChargeComm(RunPhase::DmaWait, Fabric->waitAll(CpuNow));
+    if (CpuNow > WaitStart)
+      Trace.complete(TraceTrack::Fabric, "dma_wait", CpuUs(WaitStart),
+                     CpuUs(CpuNow - WaitStart));
+  }
 
   if (Fabric) {
     // Fabric counters supersede the step-level tally when present.
     Result.TransferredBytes = Fabric->bytesMoved();
     Result.TransferCount = Fabric->transferCount();
   }
+
+  // Coherence traffic is too frequent to trace per message; summarize the
+  // run's protocol activity as one span on its own track.
+  if (uint64_t Remote = Mem->stats().counter("mem.coh_remote"))
+    Trace.complete(TraceTrack::Coherence, "coh_remote_total", 0.0,
+                   CpuUs(CpuNow), "events", Remote);
+
+  if (traceEventsEnabled()) {
+    std::string RunName =
+        Config.Name + "_" +
+        (Program.BuiltFromKernel ? kernelName(Program.Kernel) : "custom");
+    std::string Path = traceEventPath(RunName);
+    if (!Trace.writeFile(Path, RunName))
+      HETSIM_WARN("cannot write trace events to %s", Path.c_str());
+  }
   return Result;
+}
+
+MetricsSnapshot HeteroSimulator::collectMetrics(const RunResult &Result) {
+  assert(Mem && "machine not built");
+  MetricsSnapshot M;
+  captureMetrics(*Mem, M);
+
+  M.add("run.total_ns", Result.Time.totalNs());
+  M.add("run.sequential_ns", Result.Time.SequentialNs);
+  M.add("run.parallel_ns", Result.Time.ParallelNs);
+  M.add("run.communication_ns", Result.Time.CommunicationNs);
+  for (unsigned P = 0; P != NumRunPhases; ++P)
+    M.add(std::string("run.phase.") + runPhaseName(RunPhase(P)) + "_ns",
+          Result.Phases.Ns[P]);
+
+  M.add("run.transfer_bytes", double(Result.TransferredBytes));
+  M.add("run.transfers", double(Result.TransferCount));
+  M.add("run.page_faults", double(Result.PageFaults));
+  M.add("run.ownership_actions", double(Result.OwnershipActions));
+  M.add("run.push_ns", Result.PushNs);
+  M.add("run.comm_source_lines", double(Result.CommSourceLines));
+
+  M.add("run.cpu.cycles", double(Result.CpuTotal.Cycles));
+  M.add("run.cpu.insts", double(Result.CpuTotal.Insts));
+  M.add("run.cpu.mem_accesses", double(Result.CpuTotal.MemAccesses));
+  M.add("run.cpu.mem_latency_max", double(Result.CpuTotal.MemLatencyMax));
+  M.add("run.gpu.cycles", double(Result.GpuTotal.Cycles));
+  M.add("run.gpu.insts", double(Result.GpuTotal.Insts));
+  M.add("run.gpu.mem_accesses", double(Result.GpuTotal.MemAccesses));
+  M.add("run.gpu.mem_latency_max", double(Result.GpuTotal.MemLatencyMax));
+
+  M.add("run.trace_events", double(Trace.size()));
+  M.add("run.trace_events_dropped", double(Trace.dropped()));
+
+  ConservationReport Report = checkConservation(*Mem);
+  M.add("run.conservation_ok", Report.Ok ? 1.0 : 0.0);
+  return M;
 }

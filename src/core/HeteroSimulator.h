@@ -16,6 +16,9 @@
 
 #include "comm/CommFabric.h"
 #include "core/Lowering.h"
+#include "obs/Metrics.h"
+#include "obs/Phase.h"
+#include "obs/TraceEvents.h"
 
 #include <memory>
 
@@ -39,6 +42,10 @@ struct TimeBreakdown {
 /// Everything one run produces.
 struct RunResult {
   TimeBreakdown Time;
+  /// Finer-grained attribution of the same wall-clock: phase sums
+  /// reconcile exactly with Time (compute == sequential+parallel,
+  /// communication == the rest).
+  PhaseBreakdown Phases;
   SegmentResult CpuTotal;     ///< Aggregated over CPU segments.
   SegmentResult GpuTotal;     ///< Aggregated over GPU segments.
   uint64_t TransferredBytes = 0;
@@ -67,6 +74,16 @@ public:
   /// The memory system of the most recent run (for post-run inspection).
   MemorySystem &memory();
 
+  /// The event timeline of the most recent run. Populated on every run;
+  /// written to `$HETSIM_TRACE_EVENTS/<system>_<kernel>.trace.json` when
+  /// that variable names a directory.
+  const TraceEventLog &trace() const { return Trace; }
+
+  /// Flattens \p Result plus the last run's memory-system state into a
+  /// metrics snapshot ("run.*" values over the captureMetrics() base),
+  /// including the conservation verdict ("run.conservation_ok").
+  MetricsSnapshot collectMetrics(const RunResult &Result);
+
 private:
   void buildMachine();
   std::unique_ptr<CommFabric> buildFabric();
@@ -77,6 +94,7 @@ private:
   std::unique_ptr<GpuCore> Gpu;
   std::unique_ptr<CommFabric> Fabric;
   OwnershipRegistry Ownership;
+  TraceEventLog Trace;
 };
 
 } // namespace hetsim

@@ -5,6 +5,7 @@
 #include "common/Log.h"
 #include "common/ThreadPool.h"
 #include "common/WallTimer.h"
+#include "obs/Json.h"
 #include "trace/TraceCache.h"
 
 #include <cstdio>
@@ -39,6 +40,7 @@ SweepRunner::SweepRunner(unsigned JobCount)
 std::vector<RunResult>
 SweepRunner::run(const std::vector<SweepPoint> &Points) {
   std::vector<RunResult> Results(Points.size());
+  Metrics.assign(Points.size(), MetricsSnapshot());
 
   TraceCacheStats Before = TraceCache::global().stats();
   WallTimer Timer;
@@ -54,8 +56,16 @@ SweepRunner::run(const std::vector<SweepPoint> &Points) {
         Config.applyOverrides(Point.Overrides);
       HeteroSimulator Simulator(Config);
       Results[I] = Simulator.run(Point.Kernel);
+      // Snapshot while the simulator (and its memory system) is alive;
+      // each worker writes only its own slot.
+      Metrics[I] = Simulator.collectMetrics(Results[I]);
     });
   }
+
+  if (const char *Env = std::getenv("HETSIM_METRICS_JSON"))
+    if (Env[0] != '\0' &&
+        !writeTextFile(Env, renderSweepMetricsJson(Points, Metrics) + "\n"))
+      HETSIM_WARN("cannot write sweep metrics to %s", Env);
 
   Telemetry = SweepTelemetry();
   Telemetry.Jobs = Jobs;
@@ -67,6 +77,27 @@ SweepRunner::run(const std::vector<SweepPoint> &Points) {
   Telemetry.CacheHits = After.Hits - Before.Hits;
   Telemetry.CacheMisses = After.Misses - Before.Misses;
   return Results;
+}
+
+std::string
+hetsim::renderSweepMetricsJson(const std::vector<SweepPoint> &Points,
+                               const std::vector<MetricsSnapshot> &Metrics) {
+  JsonWriter W;
+  W.beginObject();
+  W.value("schema", "hetsim-sweep-metrics-v1");
+  W.beginArray("points");
+  for (size_t I = 0; I != Metrics.size(); ++I) {
+    W.beginObject();
+    if (I < Points.size()) {
+      W.value("system", Points[I].Config.Name);
+      W.value("kernel", kernelName(Points[I].Kernel));
+    }
+    appendMetricsObject(W, "metrics", Metrics[I]);
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  return W.take();
 }
 
 bool hetsim::appendBenchTiming(const std::string &Bench,

@@ -79,12 +79,25 @@ public:
   /// Telemetry of the most recent run().
   const SweepTelemetry &telemetry() const { return Telemetry; }
 
+  /// Per-point metrics snapshots of the most recent run(), in submission
+  /// order (same index space as the returned results). When
+  /// $HETSIM_METRICS_JSON names a file, run() also dumps these as one
+  /// "hetsim-sweep-metrics-v1" document there.
+  const std::vector<MetricsSnapshot> &metrics() const { return Metrics; }
+
   unsigned jobs() const { return Jobs; }
 
 private:
   unsigned Jobs;
   SweepTelemetry Telemetry;
+  std::vector<MetricsSnapshot> Metrics;
 };
+
+/// Renders sweep metrics as a "hetsim-sweep-metrics-v1" document. The
+/// per-point labels ("system", "kernel") come from \p Points; \p Metrics
+/// must be index-aligned with it.
+std::string renderSweepMetricsJson(const std::vector<SweepPoint> &Points,
+                                   const std::vector<MetricsSnapshot> &Metrics);
 
 /// Appends one JSON record for \p Bench to the timing log. The path is
 /// $HETSIM_TIMING_JSON when set, else out/bench_timing.json (directories

@@ -123,6 +123,8 @@ SegmentResult CpuCore::run(const TraceRecord *Records, size_t Count,
           isStoreOp(R.Op), IssueCycle);
       ++Result.MemAccesses;
       Result.MemLatencySum += MemResult.Latency;
+      Result.MemLatencyMax = std::max(Result.MemLatencyMax,
+                                      MemResult.Latency);
       if (MemResult.PageFault) {
         ++Result.PageFaults;
         Result.PageFaultCycles += MemResult.Latency;

@@ -50,6 +50,7 @@ struct SegmentResult {
   uint64_t Insts = 0;
   uint64_t MemAccesses = 0;
   uint64_t MemLatencySum = 0; ///< Total memory-hierarchy cycles observed.
+  Cycle MemLatencyMax = 0;    ///< Worst single access (tail latency).
   uint64_t BranchMispredicts = 0;
   uint64_t ICacheMisses = 0;
   uint64_t StoreForwards = 0;

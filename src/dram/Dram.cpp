@@ -90,12 +90,17 @@ Cycle DramSystem::accessImpl(Addr LineAddress, Cycle Now, bool IsWrite,
 
 void DramSystem::enqueue(Addr LineAddress, bool IsWrite) {
   Queue.push_back({LineAddress, IsWrite});
+  Stats.PeakQueueDepth = std::max(Stats.PeakQueueDepth, uint64_t(Queue.size()));
 }
 
 Cycle DramSystem::drainFrFcfs(Cycle Now) {
   Cycle Finish = Now;
   std::vector<Request> Pending;
   Pending.swap(Queue);
+  if (!Pending.empty()) {
+    ++Stats.BatchDrains;
+    Stats.BatchedRequests += Pending.size();
+  }
   std::vector<bool> ServicedFlags(Pending.size(), false);
   size_t Remaining = Pending.size();
 

@@ -54,6 +54,9 @@ struct DramStats {
   uint64_t RowHits = 0;
   uint64_t RowMisses = 0;
   uint64_t BytesTransferred = 0;
+  uint64_t BatchDrains = 0;      ///< drainFrFcfs() calls that did work.
+  uint64_t BatchedRequests = 0;  ///< Requests serviced by batch drains.
+  uint64_t PeakQueueDepth = 0;   ///< High-water mark of the batch queue.
 
   double rowHitRate() const {
     uint64_t Total = RowHits + RowMisses;

@@ -91,6 +91,8 @@ SegmentResult GpuCore::run(const TraceRecord *Records, size_t Count,
             PuKind::Gpu, Line, CacheLineBytes, isStoreOp(R.Op), IssueCycle);
         ++Result.MemAccesses;
         Result.MemLatencySum += MemResult.Latency;
+        Result.MemLatencyMax = std::max(Result.MemLatencyMax,
+                                        MemResult.Latency);
         if (MemResult.PageFault) {
           ++Result.PageFaults;
           Result.PageFaultCycles += MemResult.Latency;

@@ -21,6 +21,7 @@ struct NocStats {
   uint64_t Messages = 0;
   uint64_t TotalHops = 0;
   uint64_t ContentionCycles = 0;
+  uint64_t ContendedMessages = 0; ///< Messages that waited to inject.
 };
 
 /// Abstract topology.

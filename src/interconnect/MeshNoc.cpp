@@ -31,6 +31,8 @@ Cycle MeshNoc::traverse(unsigned From, unsigned To, Cycle Now) {
   Cycle Start =
       std::max(Now, std::min(PortFree[From], Now + Config.MaxQueueDelay));
   Stats.ContentionCycles += Start - Now;
+  if (Start > Now)
+    ++Stats.ContendedMessages;
   PortFree[From] = Start + Config.InjectOccupancy;
   ++Stats.Messages;
   Stats.TotalHops += Hops;

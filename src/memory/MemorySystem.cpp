@@ -32,6 +32,29 @@ MemorySystem::MemorySystem(const MemHierConfig &Cfg)
   CpuDram = std::make_unique<DramSystem>(Cfg.Dram);
   if (Cfg.SeparateGpuDram)
     GpuDramDevice = std::make_unique<DramSystem>(Cfg.Dram);
+
+  // Register the DRAM conservation counters once; references stay valid
+  // until Stats.reset(), which this class never calls.
+  DramCpuDemand = &Stats.counterRef("dram.cpu.demand");
+  DramCpuWritebacks = &Stats.counterRef("dram.cpu.writebacks");
+  DramCpuPrefetchReads = &Stats.counterRef("dram.cpu.prefetch_reads");
+  DramGpuDemand = &Stats.counterRef("dram.gpu.demand");
+  BgDrains = &Stats.counterRef("dram.cpu.bg_drains");
+  BgRequests = &Stats.counterRef("dram.cpu.bg_reqs");
+  BgDrainCycles = &Stats.histogramRef("dram.cpu.bg_drain_cycles");
+}
+
+void MemorySystem::drainBackground(Cycle NowCpu) {
+  uint64_t Pending = CpuDram->queuedRequests();
+  if (Pending == 0)
+    return;
+  Cycle Done = CpuDram->drainFrFcfs(NowCpu);
+  Cycle Duration = Done > NowCpu ? Done - NowCpu : 0;
+  ++*BgDrains;
+  *BgRequests += Pending;
+  BgDrainCycles->addSample(Duration);
+  if (DrainHook)
+    DrainHook({NowCpu, Duration, Pending});
 }
 
 DramSystem &MemorySystem::gpuDram() {
@@ -93,12 +116,14 @@ Cycle MemorySystem::uncoreAccess(PuKind Pu, Addr PAddr, bool IsWrite,
   // GPU with its own memory and no LLC sharing skips the ring/L3 entirely.
   if (Pu == PuKind::Gpu && !Config.GpuSharesL3) {
     Level = HitLevel::Dram;
+    ++*(GpuDramDevice ? DramGpuDemand : DramCpuDemand);
     return gpuDram().access(PAddr, NowCpu, IsWrite);
   }
 
   if (!Config.EnableL3) {
     Level = HitLevel::Dram;
     Cycle AtCtrl = Noc->traverse(SourceStop, ring::MemCtrlStop, NowCpu);
+    ++*DramCpuDemand;
     Cycle Done = CpuDram->access(PAddr, AtCtrl, IsWrite);
     return Done + Noc->uncontendedLatency(ring::MemCtrlStop, SourceStop);
   }
@@ -113,13 +138,16 @@ Cycle MemorySystem::uncoreAccess(PuKind Pu, Addr PAddr, bool IsWrite,
     return AtTile + L3->config().HitLatency + ReturnHops;
   }
 
-  if (L3Result.WroteBack)
+  if (L3Result.WroteBack) {
     CpuDram->enqueue(L3Result.VictimAddr, /*IsWrite=*/true);
+    ++*DramCpuWritebacks;
+  }
 
   Level = HitLevel::Dram;
   Cycle AtCtrl =
       Noc->traverse(TileStop, ring::MemCtrlStop,
                     AtTile + L3->config().HitLatency /*tag check*/);
+  ++*DramCpuDemand;
   Cycle Done = CpuDram->access(PAddr, AtCtrl, IsWrite);
   Cycle BackToTile =
       Done + Noc->uncontendedLatency(ring::MemCtrlStop, TileStop);
@@ -217,19 +245,29 @@ MemAccessResult MemorySystem::access(PuKind Pu, Addr VAddr, uint32_t Bytes,
           continue;
         Stats.increment("mem.prefetch_fills");
         CacheAccessResult Fill = CpuL2->access(PrefetchLine, false);
-        if (Fill.WroteBack)
+        if (Fill.WroteBack) {
           CpuDram->enqueue(Fill.VictimAddr, /*IsWrite=*/true);
+          ++*DramCpuWritebacks;
+        }
         CpuDram->enqueue(PrefetchLine, /*IsWrite=*/false);
+        ++*DramCpuPrefetchReads;
       }
     }
 
     if (L2Result.Hit) {
+      // Prefetch fills above may have posted background traffic even on
+      // an L2 hit; drain it here so it is neither left to accumulate nor
+      // mischarged to a later transfer. CPU accesses run in the uncore
+      // clock already.
+      drainBackground(NowPu + Latency);
       Result.Level = HitLevel::L2;
       Result.Latency = Latency;
       return Result;
     }
-    if (L2Result.WroteBack)
+    if (L2Result.WroteBack) {
       CpuDram->enqueue(L2Result.VictimAddr, /*IsWrite=*/true);
+      ++*DramCpuWritebacks;
+    }
   }
 
   // 5. Uncore (CPU clock domain).
@@ -242,10 +280,15 @@ MemAccessResult MemorySystem::access(PuKind Pu, Addr VAddr, uint32_t Bytes,
   Cycle UncorePu = IsCpu ? UncoreCpuCycles
                          : convertCycles(PuKind::Cpu, PuKind::Gpu,
                                          UncoreCpuCycles);
+  // Posted victim writebacks (L2/L3 evictions above) drain behind the
+  // demand access on the uncore timeline.
+  drainBackground(DoneCpu);
 
-  // 6. MSHR merge/backpressure at the private-miss boundary.
+  // 6. MSHR merge/backpressure at the private-miss boundary. A merge may
+  // not undercut this access's own accrued latency (TLB walk, fault).
   MshrFile &Mshr = IsCpu ? CpuMshr : GpuMshr;
-  MshrDecision Decision = Mshr.onMiss(Line, NowPu, NowPu + Latency + UncorePu);
+  MshrDecision Decision = Mshr.onMiss(Line, NowPu, NowPu + Latency + UncorePu,
+                                      /*MinReady=*/NowPu + Latency);
   Cycle Ready = Decision.ReadyCycle;
   Result.Latency = Ready > NowPu ? Ready - NowPu : Latency + UncorePu;
   if (Decision.Merged)
@@ -284,11 +327,21 @@ Cycle MemorySystem::pushToShared(PuKind Pu, Addr VBase, uint64_t Bytes,
       mapRange(Pu, alignDown(VAddr, Pt.pageBytes()), Pt.pageBytes());
       PAddr = Pt.translate(VAddr);
     }
-    L3->access(alignDown(*PAddr, CacheLineBytes), /*IsWrite=*/false,
-               /*MarkExplicit=*/true);
+    CacheAccessResult Fill =
+        L3->access(alignDown(*PAddr, CacheLineBytes), /*IsWrite=*/false,
+                   /*MarkExplicit=*/true);
+    if (Fill.WroteBack) {
+      // The staged fill evicted a dirty line: that victim writeback is
+      // real DRAM traffic, same as every other L3-fill path.
+      CpuDram->enqueue(Fill.VictimAddr, /*IsWrite=*/true);
+      ++*DramCpuWritebacks;
+    }
     CpuCost += 2; // Pipelined fill occupancy per line.
   }
-  (void)NowPu;
+  Cycle NowCpu = Pu == PuKind::Cpu
+                     ? NowPu
+                     : convertCycles(PuKind::Gpu, PuKind::Cpu, NowPu);
+  drainBackground(NowCpu + CpuCost);
   return Pu == PuKind::Cpu
              ? CpuCost
              : convertCycles(PuKind::Cpu, PuKind::Gpu, CpuCost);

@@ -32,6 +32,7 @@
 #include "memory/PageTable.h"
 #include "memory/Tlb.h"
 
+#include <functional>
 #include <memory>
 
 namespace hetsim {
@@ -147,6 +148,30 @@ public:
   /// back.
   uint64_t flushPrivate(PuKind Pu);
 
+  /// Drains background (posted) traffic — victim writebacks and prefetch
+  /// fills — pending in the CPU DRAM FR-FCFS queue, starting at \p NowCpu
+  /// (CPU cycles). Drain time is recorded in "dram.cpu.bg_*" stats but
+  /// billed to no requester: posted writes complete in the background,
+  /// and the bank/bus busy-until state they leave behind is the physical
+  /// contention later accesses observe. Called internally at every
+  /// boundary that can enqueue, so the queue is empty whenever the system
+  /// is quiescent; exposed for fabrics and tests that force quiescence.
+  void drainBackground(Cycle NowCpu);
+
+  /// One background-queue drain, reported to the observability hook.
+  struct BgDrainEvent {
+    Cycle StartCpu = 0;    ///< Drain start, CPU cycles.
+    Cycle DurationCpu = 0; ///< Cycles until the last request completed.
+    uint64_t Requests = 0; ///< Requests drained.
+  };
+
+  /// Installs a callback fired on every non-empty background drain (the
+  /// trace-event timeline). Keeps this library free of an obs dependency;
+  /// pass nullptr-constructed function to clear.
+  void setBgDrainHook(std::function<void(const BgDrainEvent &)> Hook) {
+    DrainHook = std::move(Hook);
+  }
+
   /// Globalization / privatization (Section II-A3): moves the virtual
   /// range [OldBase, OldBase+Bytes) of \p Pu's space to NewBase (e.g.
   /// from a private region into the shared region). Remaps the page
@@ -210,6 +235,18 @@ private:
   StreamPrefetcher Prefetcher;
   SharedSpacePolicy Policy;
   StatRegistry Stats;
+
+  // Conservation counters (see obs/Metrics.h for the contract), bound to
+  // registry entries once at construction so the per-access charging
+  // sites never hash a counter name.
+  uint64_t *DramCpuDemand = nullptr;
+  uint64_t *DramCpuWritebacks = nullptr;
+  uint64_t *DramCpuPrefetchReads = nullptr;
+  uint64_t *DramGpuDemand = nullptr;
+  uint64_t *BgDrains = nullptr;
+  uint64_t *BgRequests = nullptr;
+  StatHistogram *BgDrainCycles = nullptr;
+  std::function<void(const BgDrainEvent &)> DrainHook;
 };
 
 } // namespace hetsim

@@ -1,0 +1,29 @@
+//===- obs/Phase.cpp ------------------------------------------------------===//
+
+#include "obs/Phase.h"
+
+#include "common/Error.h"
+
+using namespace hetsim;
+
+const char *hetsim::runPhaseName(RunPhase Phase) {
+  switch (Phase) {
+  case RunPhase::SerialCompute:
+    return "serial_compute";
+  case RunPhase::ParallelCompute:
+    return "parallel_compute";
+  case RunPhase::Transfer:
+    return "transfer";
+  case RunPhase::DmaWait:
+    return "dma_wait";
+  case RunPhase::Ownership:
+    return "ownership";
+  case RunPhase::Push:
+    return "push";
+  case RunPhase::PageFault:
+    return "page_fault";
+  case RunPhase::CopyOverlapStall:
+    return "copy_overlap_stall";
+  }
+  hetsim_unreachable("unknown RunPhase");
+}

@@ -269,6 +269,20 @@ TEST(Mshr, FullFileStalls) {
   EXPECT_EQ(Mshr.fullStallCount(), 1u);
 }
 
+TEST(Mshr, MergeFloorsAtAccruedLatency) {
+  // A merging access that already paid its own pre-miss latency (TLB
+  // walk, page fault) may not complete before that latency: MinReady
+  // floors the merged ReadyCycle.
+  MshrFile Mshr(4);
+  Mshr.onMiss(0x1000, 0, 100);
+  MshrDecision Cheap = Mshr.onMiss(0x1000, 10, 500, /*MinReady=*/60);
+  EXPECT_TRUE(Cheap.Merged);
+  EXPECT_EQ(Cheap.ReadyCycle, 100u); // Fill still dominates.
+  MshrDecision Expensive = Mshr.onMiss(0x1000, 20, 500, /*MinReady=*/42020);
+  EXPECT_TRUE(Expensive.Merged);
+  EXPECT_EQ(Expensive.ReadyCycle, 42020u); // Accrued latency dominates.
+}
+
 TEST(Mshr, ClearResets) {
   MshrFile Mshr(2);
   Mshr.onMiss(0x1000, 0, 100);

@@ -5,6 +5,7 @@
 #include "comm/MemControllerLink.h"
 #include "comm/PciAperture.h"
 #include "comm/PciExpressLink.h"
+#include "common/Stats.h"
 #include "common/Units.h"
 #include "dram/Dram.h"
 
@@ -221,4 +222,45 @@ TEST(MemControllerLink, ZeroBytesOnlyApiOverhead) {
   MemControllerLink Link(Dram, /*ApiOverhead=*/500);
   TransferTiming T = Link.transfer(0, TransferDir::HostToDevice, 100);
   EXPECT_EQ(T.CpuBusyCycles, 500u);
+}
+
+TEST(MemControllerLink, StaleBacklogNotBilledToTransfer) {
+  // Regression: background traffic (victim writebacks, prefetch fills)
+  // left in the FR-FCFS queue by earlier cache activity must not inflate
+  // the next transfer's cost. The link drains the backlog first, so the
+  // transfer is billed the same as with a clean queue.
+  uint64_t Bytes = 64 * 32;
+  DramSystem CleanDram;
+  MemControllerLink Clean(CleanDram);
+  Cycle CleanCost =
+      Clean.transfer(Bytes, TransferDir::HostToDevice, 0).CpuBusyCycles;
+
+  // The backlog is small enough to drain inside the 1000-cycle API
+  // overhead, so only genuinely-stale-request billing (the old bug)
+  // could make the costs differ; residual bank/bus state cannot.
+  DramSystem StaleDram;
+  StatRegistry Stats;
+  MemControllerLink Stale(StaleDram, 1000, &Stats);
+  for (unsigned I = 0; I != 32; ++I)
+    StaleDram.enqueue(0x900000000ull + I * 64, /*IsWrite=*/true);
+  Cycle StaleCost =
+      Stale.transfer(Bytes, TransferDir::HostToDevice, 0).CpuBusyCycles;
+
+  EXPECT_EQ(StaleCost, CleanCost);
+  EXPECT_EQ(Stats.counter("dram.cpu.stale_drained"), 32u);
+  EXPECT_EQ(StaleDram.queuedRequests(), 0u);
+}
+
+TEST(MemControllerLink, ChargesTransferRequestsForConservation) {
+  DramSystem Dram;
+  StatRegistry Stats;
+  MemControllerLink Link(Dram, 1000, &Stats);
+  Link.transfer(64 * 100, TransferDir::HostToDevice, 0);
+  // One read + one write per line, all charged to the transfer category.
+  EXPECT_EQ(Stats.counter("dram.cpu.transfer_reqs"), 200u);
+  EXPECT_EQ(Dram.stats().Reads + Dram.stats().Writes,
+            Stats.counter("dram.cpu.transfer_reqs"));
+  // Zero-byte transfers charge nothing.
+  Link.transfer(0, TransferDir::HostToDevice, 0);
+  EXPECT_EQ(Stats.counter("dram.cpu.transfer_reqs"), 200u);
 }

@@ -146,6 +146,25 @@ TEST(DramFrFcfs, StreamingBatchMostlyRowHits) {
   EXPECT_GT(Dram.stats().rowHitRate(), 0.85);
 }
 
+TEST(DramFrFcfs, BatchStatsTrackDrainsAndQueueDepth) {
+  DramSystem Dram;
+  for (unsigned I = 0; I != 16; ++I)
+    Dram.enqueue(64 * I, false);
+  EXPECT_EQ(Dram.stats().PeakQueueDepth, 16u);
+  Dram.drainFrFcfs(0);
+  EXPECT_EQ(Dram.stats().BatchDrains, 1u);
+  EXPECT_EQ(Dram.stats().BatchedRequests, 16u);
+  // Draining an empty queue does no work and counts no drain.
+  Dram.drainFrFcfs(1000);
+  EXPECT_EQ(Dram.stats().BatchDrains, 1u);
+  // The high-water mark persists across drains and only grows.
+  Dram.enqueue(0, false);
+  EXPECT_EQ(Dram.stats().PeakQueueDepth, 16u);
+  Dram.drainFrFcfs(2000);
+  EXPECT_EQ(Dram.stats().BatchDrains, 2u);
+  EXPECT_EQ(Dram.stats().BatchedRequests, 17u);
+}
+
 TEST(DramFrFcfs, ParallelChannelsBeatSingleChannel) {
   // The same 64 lines spread over 4 channels finish faster than crammed
   // into one channel.

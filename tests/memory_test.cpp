@@ -608,6 +608,121 @@ TEST(MemorySystem, RemapZeroBytesIsFree) {
   EXPECT_EQ(Mem.remapRange(PuKind::Cpu, 0x1000, 0x2000, 0), 0u);
 }
 
+//===----------------------------------------------------------------------===//
+// DRAM background-traffic accounting (conservation contract).
+//===----------------------------------------------------------------------===//
+
+namespace {
+/// A hierarchy small enough that modest strides evict at every level.
+MemHierConfig makeTinyHierarchy() {
+  MemHierConfig Config;
+  Config.CpuL1.SizeBytes = 4 * 1024;
+  Config.CpuL2.SizeBytes = 8 * 1024;
+  Config.L3.SizeBytes = 16 * 1024;
+  Config.GpuSharesL3 = true;
+  Config.SeparateGpuDram = false;
+  return Config;
+}
+} // namespace
+
+TEST(MemorySystem, VictimWritebacksDrainAtAccessBoundary) {
+  // Regression: L2 victim writebacks are posted into the CPU DRAM
+  // FR-FCFS queue. They must be drained (and charged to the writeback
+  // category) at the access boundary, not stranded until some transfer
+  // fabric happens to drain the queue.
+  MemorySystem Mem(makeTinyHierarchy());
+  Mem.mapRange(PuKind::Cpu, region::CpuPrivateBase, 1 << 20);
+  Cycle Now = 0;
+  for (Addr Offset = 0; Offset < (64 << 10); Offset += 64) {
+    MemAccessResult R =
+        Mem.access(PuKind::Cpu, region::CpuPrivateBase + Offset, 4,
+                   /*IsWrite=*/true, Now);
+    Now += R.Latency;
+    // Quiescent after every single access.
+    ASSERT_EQ(Mem.cpuDram().queuedRequests(), 0u);
+  }
+  EXPECT_GT(Mem.stats().counter("dram.cpu.writebacks"), 0u);
+  EXPECT_GT(Mem.stats().counter("dram.cpu.bg_drains"), 0u);
+  EXPECT_EQ(Mem.stats().counter("dram.cpu.bg_reqs"),
+            Mem.cpuDram().stats().BatchedRequests);
+  // Served requests reconcile with the charged categories.
+  EXPECT_EQ(Mem.cpuDram().stats().Reads + Mem.cpuDram().stats().Writes,
+            Mem.stats().counter("dram.cpu.demand") +
+                Mem.stats().counter("dram.cpu.writebacks"));
+}
+
+TEST(MemorySystem, PrefetchTrafficDrainsEvenOnL2Hits) {
+  // Prefetch fills post background traffic before the L2-hit early
+  // return; that path must drain too.
+  MemHierConfig Config = makeTinyHierarchy();
+  Config.EnableL2Prefetch = true;
+  MemorySystem Mem(Config);
+  Mem.mapRange(PuKind::Cpu, region::CpuPrivateBase, 1 << 20);
+  Cycle Now = 0;
+  for (Addr Offset = 0; Offset < (32 << 10); Offset += 64) {
+    MemAccessResult R = Mem.access(PuKind::Cpu,
+                                   region::CpuPrivateBase + Offset, 4,
+                                   /*IsWrite=*/false, Now);
+    Now += R.Latency;
+    ASSERT_EQ(Mem.cpuDram().queuedRequests(), 0u);
+  }
+  EXPECT_GT(Mem.stats().counter("dram.cpu.prefetch_reads"), 0u);
+  EXPECT_EQ(Mem.cpuDram().stats().Reads + Mem.cpuDram().stats().Writes,
+            Mem.stats().counter("dram.cpu.demand") +
+                Mem.stats().counter("dram.cpu.writebacks") +
+                Mem.stats().counter("dram.cpu.prefetch_reads"));
+}
+
+TEST(MemorySystem, PushToSharedChargesVictimWritebacks) {
+  // Regression: pushToShared used to ignore CacheAccessResult.WroteBack
+  // on its L3 fills, silently dropping victim writeback traffic.
+  MemorySystem Mem(makeTinyHierarchy());
+  Mem.mapRange(PuKind::Cpu, region::SharedBase, 1 << 20);
+  // Dirty the whole (16KB) L3 with write misses.
+  Cycle Now = 0;
+  for (Addr Offset = 0; Offset < (16 << 10); Offset += 64) {
+    MemAccessResult R = Mem.access(PuKind::Cpu, region::SharedBase + Offset,
+                                   4, /*IsWrite=*/true, Now);
+    Now += R.Latency;
+  }
+  uint64_t WritebacksBefore = Mem.stats().counter("dram.cpu.writebacks");
+  uint64_t DramWritesBefore = Mem.cpuDram().stats().Writes;
+  // Push a fresh range through the L3: fills evict the dirty lines.
+  Mem.pushToShared(PuKind::Cpu, region::SharedBase + (512 << 10),
+                   16 << 10, Now);
+  EXPECT_GT(Mem.stats().counter("dram.cpu.writebacks"), WritebacksBefore);
+  // The victims were actually serviced by the device, not just counted.
+  EXPECT_GT(Mem.cpuDram().stats().Writes, DramWritesBefore);
+  EXPECT_EQ(Mem.cpuDram().queuedRequests(), 0u);
+}
+
+TEST(MemorySystem, MergedMissKeepsAccruedFaultLatency) {
+  // Regression: a miss that merges onto an in-flight fill used to adopt
+  // the earlier entry's ReadyCycle wholesale, letting a cheap fill erase
+  // the merging access's own accrued page-fault latency.
+  MemorySystem Mem = makeIntegrated();
+  Mem.mapRange(PuKind::Cpu, region::SharedBase, 1 << 16);
+  // First access: plain cold miss; its fill stays in flight for a while.
+  Mem.access(PuKind::Cpu, region::SharedBase, 4, false, 0);
+
+  // Second access faults (fresh tracker, CPU faults too) and merges.
+  FirstTouchTracker Tracker(region::SharedBase, 1 << 16, 4096);
+  SharedSpacePolicy Policy;
+  Policy.FirstTouch = &Tracker;
+  Policy.PageFaultLatency = 50000;
+  Policy.FaultOnlyGpu = false;
+  Mem.setSharedPolicy(Policy);
+  Addr Pa = *Mem.pageTable(PuKind::Cpu).translate(region::SharedBase);
+  Mem.cpuL1().invalidate(Pa);
+  Mem.cpuL2().invalidate(Pa);
+  MemAccessResult R =
+      Mem.access(PuKind::Cpu, region::SharedBase, 4, false, 1);
+  EXPECT_TRUE(R.PageFault);
+  EXPECT_EQ(Mem.stats().counter("mem.mshr_merges"), 1u);
+  // The merge may not undercut the fault cost already paid.
+  EXPECT_GE(R.Latency, 50000u);
+}
+
 TEST(MemorySystem, MshrMergesConcurrentMisses) {
   MemorySystem Mem = makeIntegrated();
   Mem.mapRange(PuKind::Cpu, region::CpuPrivateBase, 1 << 16);

@@ -16,7 +16,10 @@
 #include "common/StringUtil.h"
 #include "core/Experiments.h"
 #include "core/ExtraWorkloads.h"
+#include "core/SweepRunner.h"
 #include "energy/EnergyModel.h"
+#include "obs/Metrics.h"
+#include "obs/Phase.h"
 
 #include <cstdio>
 #include <cstring>
@@ -33,7 +36,7 @@ int usage() {
       "usage:\n"
       "  hetsim list\n"
       "  hetsim run --system <name> --kernel <name> [--config file]\n"
-      "         [key=value ...]\n"
+      "         [--stats] [--metrics out.json] [key=value ...]\n"
       "  hetsim compare --kernel <name> [key=value ...]\n"
       "  hetsim extra --system <name> --workload <name> [--elements N]\n"
       "  hetsim table <1|2|3|4|5>\n"
@@ -63,8 +66,8 @@ bool systemByName(const std::string &Name, SystemConfig &Out,
   return false;
 }
 
-void printRun(const SystemConfig &Config, KernelId Kernel,
-              bool DumpStats) {
+void printRun(const SystemConfig &Config, KernelId Kernel, bool DumpStats,
+              const std::string &MetricsPath) {
   HeteroSimulator Simulator(Config);
   RunResult Result = Simulator.run(Kernel);
   const TimeBreakdown &T = Result.Time;
@@ -74,6 +77,12 @@ void printRun(const SystemConfig &Config, KernelId Kernel,
   std::printf("  parallel       %10.2f us\n", T.ParallelNs / 1e3);
   std::printf("  communication  %10.2f us (%.1f%%)\n",
               T.CommunicationNs / 1e3, 100.0 * T.commFraction());
+  std::printf("  phases:");
+  for (unsigned P = 0; P != NumRunPhases; ++P)
+    if (Result.Phases.Ns[P] > 0)
+      std::printf(" %s=%.2fus", runPhaseName(RunPhase(P)),
+                  Result.Phases.Ns[P] / 1e3);
+  std::printf("\n");
   std::printf("  cpu insts %llu (IPC %.2f), gpu warp insts %llu\n",
               (unsigned long long)Result.CpuTotal.Insts,
               Result.CpuTotal.ipc(),
@@ -120,6 +129,19 @@ void printRun(const SystemConfig &Config, KernelId Kernel,
     std::printf("tlb: cpu-miss=%llu gpu-miss=%llu\n",
                 (unsigned long long)Mem.tlb(PuKind::Cpu).stats().Misses,
                 (unsigned long long)Mem.tlb(PuKind::Gpu).stats().Misses);
+  }
+
+  if (!MetricsPath.empty()) {
+    MetricsSnapshot M = Simulator.collectMetrics(Result);
+    ConservationReport Audit = checkConservation(Simulator.memory());
+    if (!Audit.Ok)
+      std::fprintf(stderr, "warning: %s\n", Audit.summary().c_str());
+    if (writeMetricsJson(MetricsPath, M))
+      std::printf("  metrics: %zu values -> %s (conservation %s)\n",
+                  M.size(), MetricsPath.c_str(), Audit.Ok ? "ok" : "VIOLATED");
+    else
+      std::fprintf(stderr, "error: cannot write metrics to %s\n",
+                   MetricsPath.c_str());
   }
 }
 
@@ -175,6 +197,7 @@ struct ParsedArgs {
   std::vector<std::string> SweepValues;
   ConfigStore Overrides;
   bool DumpStats = false;
+  std::string MetricsPath;
   bool Ok = true;
 };
 
@@ -209,6 +232,8 @@ ParsedArgs parseArgs(int Argc, char **Argv, int Start) {
       Args.Elements = std::strtoull(Value.c_str(), nullptr, 0);
     } else if (Arg == "--stats") {
       Args.DumpStats = true;
+    } else if (Arg == "--metrics") {
+      TakeValue(Args.MetricsPath);
     } else if (Arg == "--key") {
       TakeValue(Args.SweepKey);
     } else if (Arg == "--values") {
@@ -313,15 +338,16 @@ int main(int Argc, char **Argv) {
                      Args.System.c_str());
         return 2;
       }
-      printRun(Config, Kernel, Args.DumpStats);
+      printRun(Config, Kernel, Args.DumpStats, Args.MetricsPath);
       return 0;
     }
 
-    // sweep
+    // sweep: fan the points over the sweep engine (HETSIM_JOBS workers;
+    // results stay in submission order). Overrides are baked into each
+    // point's config, so the point's own store stays empty.
     if (Args.SweepKey.empty() || Args.SweepValues.empty())
       return usage();
-    std::printf("%-16s %12s %12s %12s\n", Args.SweepKey.c_str(), "total_us",
-                "comm_us", "comm_frac");
+    std::vector<SweepPoint> Points;
     for (const std::string &Value : Args.SweepValues) {
       ConfigStore Overrides = Args.Overrides;
       Overrides.set(Args.SweepKey, Value);
@@ -331,13 +357,18 @@ int main(int Argc, char **Argv) {
                      Args.System.c_str());
         return 2;
       }
-      HeteroSimulator Simulator(Config);
-      RunResult Result = Simulator.run(Kernel);
-      std::printf("%-16s %12.2f %12.2f %11.1f%%\n", Value.c_str(),
-                  Result.Time.totalNs() / 1e3,
-                  Result.Time.CommunicationNs / 1e3,
-                  100.0 * Result.Time.commFraction());
+      Points.emplace_back(std::move(Config), Kernel);
     }
+    SweepRunner Runner;
+    std::vector<RunResult> Results = Runner.run(Points);
+    std::printf("%-16s %12s %12s %12s\n", Args.SweepKey.c_str(), "total_us",
+                "comm_us", "comm_frac");
+    for (size_t I = 0; I != Results.size(); ++I)
+      std::printf("%-16s %12.2f %12.2f %11.1f%%\n",
+                  Args.SweepValues[I].c_str(),
+                  Results[I].Time.totalNs() / 1e3,
+                  Results[I].Time.CommunicationNs / 1e3,
+                  100.0 * Results[I].Time.commFraction());
     return 0;
   }
 
