@@ -14,12 +14,26 @@
 # Speedups are relative to serial-nocache. On multi-core hosts the
 # parallel run should be >=2x at jobs>=4; on a single core only the
 # trace-cache win shows up.
+#
+# When the outfile already holds a previous record, each variant's new
+# points_per_s is compared against it: any regression beyond 20% fails
+# the run (the candidate goes to <outfile>.rej, the old record stays).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="${1:-$(nproc 2>/dev/null || echo 4)}"
 OUTFILE="${2:-BENCH_sweep.json}"
 BENCH=build/bench/fig5_case_studies
+
+# Physical core count of the host, independent of the current CPU
+# affinity mask: `nproc` reads the mask, so a taskset-restricted or
+# containerized run would record 1 even on a big machine.
+HOST_CORES=$(nproc --all 2>/dev/null \
+             || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)
+if [ "$JOBS" -gt "$HOST_CORES" ] 2>/dev/null; then
+  echo "warning: jobs=$JOBS exceeds host_cores=$HOST_CORES;" \
+       "parallel speedup will be limited to what the host can run" >&2
+fi
 
 if [ ! -x "$BENCH" ]; then
   echo "error: $BENCH not built; run cmake -B build -S . && cmake --build build -j" >&2
@@ -53,10 +67,17 @@ echo "   ${PAR_WALL}s for ${PAR_POINTS} points (${PAR_PPS} points/s)"
 SER_SPEEDUP=$(awk "BEGIN{printf \"%.2f\", $BASE_WALL/$SER_WALL}")
 PAR_SPEEDUP=$(awk "BEGIN{printf \"%.2f\", $BASE_WALL/$PAR_WALL}")
 
-cat > "$OUTFILE" <<EOF
+# Looks up a variant's points_per_s in a previous record.
+old_pps() { # variant
+  sed -n "s/.*\"variant\": \"$1\".*\"points_per_s\": \([0-9.]*\).*/\1/p" \
+      "$OUTFILE"
+}
+
+CANDIDATE="$TMPDIR_TIMING/candidate.json"
+cat > "$CANDIDATE" <<EOF
 {
   "bench": "fig5_case_studies",
-  "host_cores": $(nproc 2>/dev/null || echo 0),
+  "host_cores": $HOST_CORES,
   "runs": [
     {"variant": "serial-nocache", "jobs": 1, "points": $BASE_POINTS, "wall_s": $BASE_WALL, "points_per_s": $BASE_PPS, "speedup": 1.00},
     {"variant": "serial", "jobs": 1, "points": $SER_POINTS, "wall_s": $SER_WALL, "points_per_s": $SER_PPS, "speedup": $SER_SPEEDUP},
@@ -65,4 +86,26 @@ cat > "$OUTFILE" <<EOF
 }
 EOF
 
+REGRESSED=0
+if [ -f "$OUTFILE" ]; then
+  for spec in "serial-nocache $BASE_PPS" "serial $SER_PPS" \
+              "parallel $PAR_PPS"; do
+    read -r variant new_pps <<<"$spec"
+    prev_pps="$(old_pps "$variant")"
+    [ -n "$prev_pps" ] || continue
+    if awk "BEGIN{exit !($new_pps < 0.8 * $prev_pps)}"; then
+      echo "regression: $variant ${new_pps} points/s is >20% below the" \
+           "recorded ${prev_pps} points/s" >&2
+      REGRESSED=1
+    fi
+  done
+fi
+
+if [ "$REGRESSED" = "1" ]; then
+  cp "$CANDIDATE" "$OUTFILE.rej"
+  echo "== kept $OUTFILE; rejected candidate written to $OUTFILE.rej ==" >&2
+  exit 1
+fi
+
+cp "$CANDIDATE" "$OUTFILE"
 echo "== wrote $OUTFILE (parallel speedup ${PAR_SPEEDUP}x over serial-nocache) =="

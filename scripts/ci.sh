@@ -1,15 +1,23 @@
 #!/usr/bin/env bash
 # The full CI gate, in dependency order:
-#   1. tier-1: default build + complete ctest suite
-#   2. sanitizer: AddressSanitizer build + complete ctest suite
+#   1. tier-1: default build + complete ctest suite (unit label first, so
+#      a broken build fails in seconds instead of after the sweeps)
+#   2. sanitizers: AddressSanitizer and UBSan builds + complete ctest suite
 #   3. static analysis: scripts/lint.sh (clang-tidy if installed, plus the
 #      hetsim_lint memory-model linter over the shipped design space)
+#   4. metrics smoke: one run must emit schema-valid, conservation-clean
+#      metrics plus a Chrome trace file
+#   5. golden diff + paper fidelity: regenerate every checked artifact and
+#      hold it against refs/golden (tight tolerances) and refs/paper
+#      (paper-reported values and trends), then prove the sweep engine is
+#      byte-deterministic across job counts
 #
 # Usage: scripts/ci.sh
 #
 # Environment:
-#   HETSIM_JOBS      worker threads per sweep (default: all cores)
-#   HETSIM_SKIP_ASAN set to 1 to skip gate 2 (e.g. on hosts without ASan)
+#   HETSIM_JOBS       worker threads per sweep (default: all cores)
+#   HETSIM_SKIP_ASAN  set to 1 to skip the ASan leg of gate 2
+#   HETSIM_SKIP_UBSAN set to 1 to skip the UBSan leg of gate 2
 set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 4)"
@@ -17,7 +25,8 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 echo "== gate 1: tier-1 build + tests =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS" >/dev/null
-ctest --test-dir build --output-on-failure -j "$JOBS" | tail -3
+ctest --test-dir build -L unit --output-on-failure -j "$JOBS" | tail -3
+ctest --test-dir build -L sweep --output-on-failure -j "$JOBS" | tail -3
 
 if [ "${HETSIM_SKIP_ASAN:-0}" != "1" ]; then
   echo "== gate 2: AddressSanitizer build + tests =="
@@ -25,7 +34,16 @@ if [ "${HETSIM_SKIP_ASAN:-0}" != "1" ]; then
   cmake --build build-asan -j "$JOBS" >/dev/null
   ctest --test-dir build-asan --output-on-failure -j "$JOBS" | tail -3
 else
-  echo "== gate 2: skipped (HETSIM_SKIP_ASAN=1) =="
+  echo "== gate 2: ASan skipped (HETSIM_SKIP_ASAN=1) =="
+fi
+
+if [ "${HETSIM_SKIP_UBSAN:-0}" != "1" ]; then
+  echo "== gate 2: UndefinedBehaviorSanitizer build + tests =="
+  cmake -B build-ubsan -S . -DHETSIM_SANITIZE=undefined >/dev/null
+  cmake --build build-ubsan -j "$JOBS" >/dev/null
+  ctest --test-dir build-ubsan --output-on-failure -j "$JOBS" | tail -3
+else
+  echo "== gate 2: UBSan skipped (HETSIM_SKIP_UBSAN=1) =="
 fi
 
 echo "== gate 3: static analysis =="
@@ -45,5 +63,29 @@ build/tools/hetsim_stats audit "$SMOKE_DIR/metrics.json"
   echo "ci: missing trace-event file" >&2
   exit 1
 }
+
+echo "== gate 5: golden diff + paper fidelity + determinism =="
+# Regenerate every manifest artifact into a scratch directory so the gate
+# checks the tree as built, not whatever is sitting in out/. microbench is
+# wall-clock noise and is deliberately not under regression check.
+CHECK_OUT="build/check-out"
+rm -rf "$CHECK_OUT"
+mkdir -p "$CHECK_OUT"
+export HETSIM_CSV_DIR="$CHECK_OUT"
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  name=$(basename "$b")
+  [ "$name" = "microbench" ] && continue
+  "$b" > "$CHECK_OUT/$name.txt" 2>/dev/null
+done
+for e in build/examples/*; do
+  [ -f "$e" ] && [ -x "$e" ] || continue
+  "$e" > "$CHECK_OUT/example_$(basename "$e").txt" 2>&1
+done
+unset HETSIM_CSV_DIR
+build/tools/hetsim_check diff --out "$CHECK_OUT" \
+  --report build/check-report.txt
+build/tools/hetsim_check fidelity --out "$CHECK_OUT"
+build/tools/hetsim_check determinism --jobs "${HETSIM_JOBS:-8}"
 
 echo "ci: all gates passed"

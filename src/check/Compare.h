@@ -1,0 +1,84 @@
+//===- check/Compare.h - Tolerance-aware document diffing -------*- C++ -*-===//
+///
+/// \file
+/// The comparison engine: diffs a candidate ResultDoc against a golden
+/// reference per metric, applying the ToleranceSpec band for each
+/// (document, field) pair, and collects violations into a DiffReport
+/// ranked by severity — structural breaks (missing documents, rows, or
+/// fields) first, then value drifts by relative delta — so the CI gate
+/// names the worst offender at the top instead of dumping a raw diff.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HETSIM_CHECK_COMPARE_H
+#define HETSIM_CHECK_COMPARE_H
+
+#include "check/ResultDoc.h"
+#include "check/Tolerance.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hetsim {
+
+enum class DiffKind : uint8_t {
+  MissingDoc,    ///< Reference exists, candidate artifact does not.
+  ParseError,    ///< Candidate artifact unreadable or malformed.
+  MissingRow,    ///< Reference row absent from the candidate.
+  ExtraRow,      ///< Candidate row absent from the reference.
+  MissingField,  ///< Row matched but a reference field is gone.
+  TextMismatch,  ///< Text cell or prose line differs.
+  ValueDrift,    ///< Numeric delta beyond the tolerance band.
+  FidelityValue, ///< Paper-expected value check failed.
+  FidelityTrend, ///< Paper-expected ordering check failed.
+};
+
+const char *diffKindName(DiffKind Kind);
+
+/// One violation.
+struct DiffEntry {
+  DiffKind Kind = DiffKind::ValueDrift;
+  std::string Doc;
+  std::string Row;
+  std::string Field;
+  double Reference = 0;
+  double Actual = 0;
+  double AbsDelta = 0;
+  double RelDelta = 0; ///< AbsDelta / |Reference| (AbsDelta when ref is 0).
+  Tolerance Allowed;
+  std::string Detail;
+
+  /// One human-readable report line (no trailing newline).
+  std::string describe() const;
+};
+
+/// The outcome of one diff (or fidelity) run.
+struct DiffReport {
+  std::vector<DiffEntry> Entries;
+  uint64_t DocsCompared = 0;
+  uint64_t RowsCompared = 0;
+  uint64_t ValuesCompared = 0;
+
+  bool ok() const { return Entries.empty(); }
+
+  /// Ranks entries: structural kinds first (in enum order), then value
+  /// drifts by descending relative delta. Stable for ties.
+  void sortBySeverity();
+
+  /// Renders the ranked report: a summary line plus one numbered line
+  /// per violation ("ok" when clean).
+  std::string render(const std::string &Title) const;
+
+  /// Appends \p Other's entries and counters into this report.
+  void merge(DiffReport Other);
+};
+
+/// Diffs \p Actual against \p Reference with \p Spec. Rows pair by label
+/// and occurrence; fields pair by name; prose must match line-for-line.
+DiffReport compareDocs(const ResultDoc &Reference, const ResultDoc &Actual,
+                       const ToleranceSpec &Spec);
+
+} // namespace hetsim
+
+#endif // HETSIM_CHECK_COMPARE_H

@@ -1,0 +1,154 @@
+//===- check/Tolerance.cpp ------------------------------------------------===//
+
+#include "check/Tolerance.h"
+
+#include "common/StringUtil.h"
+#include "obs/Json.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+using namespace hetsim;
+
+bool Tolerance::accepts(double Reference, double Actual) const {
+  double Delta = std::fabs(Actual - Reference);
+  double Allowed = Abs;
+  double Scaled = Rel * std::fabs(Reference);
+  if (Scaled > Allowed)
+    Allowed = Scaled;
+  return Delta <= Allowed;
+}
+
+bool hetsim::globMatch(const std::string &Pattern, const std::string &Text) {
+  // Iterative '*'-only glob with backtracking to the last star.
+  size_t P = 0, T = 0;
+  size_t StarP = std::string::npos, StarT = 0;
+  while (T < Text.size()) {
+    if (P < Pattern.size() && (Pattern[P] == Text[T])) {
+      ++P;
+      ++T;
+    } else if (P < Pattern.size() && Pattern[P] == '*') {
+      StarP = P++;
+      StarT = T;
+    } else if (StarP != std::string::npos) {
+      P = StarP + 1;
+      T = ++StarT;
+    } else {
+      return false;
+    }
+  }
+  while (P < Pattern.size() && Pattern[P] == '*')
+    ++P;
+  return P == Pattern.size();
+}
+
+Tolerance ToleranceSpec::lookup(const std::string &Doc,
+                                const std::string &Field) const {
+  Tolerance Result = Default;
+  for (const ToleranceRule &Rule : Rules)
+    if (globMatch(Rule.DocPattern, Doc) && globMatch(Rule.FieldPattern, Field))
+      Result = Rule.Tol;
+  return Result;
+}
+
+namespace {
+
+/// Parses an `abs=X` / `rel=Y` token into \p Tol; false if neither.
+bool parseBandToken(const std::string &Token, Tolerance &Tol) {
+  auto ParseNumber = [](const std::string &Text, double &Out) {
+    const char *Begin = Text.c_str();
+    char *End = nullptr;
+    Out = std::strtod(Begin, &End);
+    return End != Begin && *End == '\0' && Out >= 0;
+  };
+  if (Token.rfind("abs=", 0) == 0)
+    return ParseNumber(Token.substr(4), Tol.Abs);
+  if (Token.rfind("rel=", 0) == 0)
+    return ParseNumber(Token.substr(4), Tol.Rel);
+  return false;
+}
+
+} // namespace
+
+bool ToleranceSpec::parse(const std::string &Text, std::string &Error) {
+  Default = Tolerance();
+  Rules.clear();
+
+  std::istringstream Stream(Text);
+  std::string Line;
+  unsigned LineNo = 0;
+  while (std::getline(Stream, Line)) {
+    ++LineNo;
+    size_t Hash = Line.find('#');
+    if (Hash != std::string::npos)
+      Line.resize(Hash);
+    std::istringstream Tokens(Line);
+    std::vector<std::string> Words;
+    std::string Word;
+    while (Tokens >> Word)
+      Words.push_back(Word);
+    if (Words.empty())
+      continue;
+
+    if (Words.front() == "default") {
+      for (size_t I = 1; I != Words.size(); ++I)
+        if (!parseBandToken(Words[I], Default)) {
+          Error = "tolerances line " + std::to_string(LineNo) +
+                  ": bad default token '" + Words[I] + "'";
+          return false;
+        }
+      continue;
+    }
+    if (Words.front() == "rule") {
+      if (Words.size() < 4) {
+        Error = "tolerances line " + std::to_string(LineNo) +
+                ": rule needs <doc-glob> <field-glob> and a band";
+        return false;
+      }
+      ToleranceRule Rule;
+      Rule.DocPattern = Words[1];
+      // Band tokens sit at the tail; everything between the doc pattern
+      // and them is the field pattern (fields may contain spaces).
+      size_t BandStart = Words.size();
+      while (BandStart > 2 && parseBandToken(Words[BandStart - 1], Rule.Tol))
+        --BandStart;
+      if (BandStart == Words.size()) {
+        Error = "tolerances line " + std::to_string(LineNo) +
+                ": rule has no abs=/rel= band";
+        return false;
+      }
+      for (size_t I = 2; I != BandStart; ++I) {
+        if (I != 2)
+          Rule.FieldPattern += ' ';
+        Rule.FieldPattern += Words[I];
+      }
+      if (Rule.FieldPattern.empty()) {
+        Error = "tolerances line " + std::to_string(LineNo) +
+                ": rule is missing the field glob";
+        return false;
+      }
+      // parseBandToken filled Rule.Tol in reverse; re-apply in order for
+      // deterministic duplicate handling.
+      Rule.Tol = Tolerance();
+      for (size_t I = BandStart; I != Words.size(); ++I)
+        parseBandToken(Words[I], Rule.Tol);
+      Rules.push_back(std::move(Rule));
+      continue;
+    }
+    Error = "tolerances line " + std::to_string(LineNo) +
+            ": unknown directive '" + Words.front() + "'";
+    return false;
+  }
+  return true;
+}
+
+bool ToleranceSpec::loadFile(const std::string &Path, ToleranceSpec &Out,
+                             std::string &Error) {
+  std::string Text;
+  if (!readTextFile(Path, Text)) {
+    Error = "cannot read " + Path;
+    return false;
+  }
+  return Out.parse(Text, Error);
+}

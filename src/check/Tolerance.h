@@ -1,0 +1,62 @@
+//===- check/Tolerance.h - Per-metric comparison tolerances -----*- C++ -*-===//
+///
+/// \file
+/// Tolerance policy for the comparison engine. A value passes when its
+/// absolute delta is within max(Abs, Rel * |reference|); the spec holds
+/// a default plus an ordered rule list matched by (document, field)
+/// glob patterns, last match winning, so `refs/tolerances.cfg` can keep
+/// the default tight and loosen exactly the tables that need it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HETSIM_CHECK_TOLERANCE_H
+#define HETSIM_CHECK_TOLERANCE_H
+
+#include <string>
+#include <vector>
+
+namespace hetsim {
+
+/// One tolerance band. Boundary values pass (<=, not <).
+struct Tolerance {
+  double Abs = 0;
+  double Rel = 0;
+
+  /// True when |Actual - Reference| is within the band.
+  bool accepts(double Reference, double Actual) const;
+};
+
+/// One cfg rule: `rule <doc-glob> <field-glob> [abs=X] [rel=Y]`.
+struct ToleranceRule {
+  std::string DocPattern;
+  std::string FieldPattern;
+  Tolerance Tol;
+};
+
+/// Matches \p Pattern against \p Text; '*' matches any (possibly empty)
+/// substring, all other characters literally.
+bool globMatch(const std::string &Pattern, const std::string &Text);
+
+/// The tolerance policy of one diff run.
+class ToleranceSpec {
+public:
+  Tolerance Default;
+  std::vector<ToleranceRule> Rules;
+
+  /// Returns the band for (doc, field): the last matching rule, or the
+  /// default when none matches.
+  Tolerance lookup(const std::string &Doc, const std::string &Field) const;
+
+  /// Parses cfg text: `default [abs=X] [rel=Y]` and rule lines as above;
+  /// '#' starts a comment. Returns false and sets \p Error (with a line
+  /// number) on malformed input.
+  bool parse(const std::string &Text, std::string &Error);
+
+  /// Reads and parses \p Path.
+  static bool loadFile(const std::string &Path, ToleranceSpec &Out,
+                       std::string &Error);
+};
+
+} // namespace hetsim
+
+#endif // HETSIM_CHECK_TOLERANCE_H

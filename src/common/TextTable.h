@@ -31,6 +31,11 @@ public:
   /// Number of data rows.
   size_t rowCount() const { return Rows.size(); }
 
+  /// Column headers and raw cell rows (the regression-check subsystem
+  /// parses tables structurally instead of re-reading rendered text).
+  const std::vector<std::string> &headers() const { return Headers; }
+  const std::vector<std::vector<std::string>> &rows() const { return Rows; }
+
   /// Renders the table with a separator line under the header.
   std::string render() const;
 
