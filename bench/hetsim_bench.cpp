@@ -1,0 +1,205 @@
+//===- bench/hetsim_bench.cpp - Simulator performance harness -------------===//
+///
+/// \file
+/// Times the simulator itself, phase by phase: trace generation throughput
+/// per kernel, single-run simulation per kernel x memory model, the fig5
+/// sweep through the SweepRunner, and the Pattern-block closed-form fold
+/// against its per-record reference. Each phase appends one record in the
+/// bench_timing.json shape (points_per_s carries the phase's native
+/// throughput), so scripts/bench_timing.sh can gate any of them.
+///
+/// Usage: hetsim_bench [--smoke] [--phase NAME]
+///   --smoke   shrink every phase to a seconds-scale CI gate
+///   --phase   run only the named phase (tracegen|singlerun|sweep|fastpath)
+///
+//===----------------------------------------------------------------------===//
+
+#include "common/WallTimer.h"
+#include "core/Experiments.h"
+#include "memory/MemorySystem.h"
+#include "trace/ComputeBlock.h"
+#include "trace/TraceCache.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+using namespace hetsim;
+
+namespace {
+
+struct BenchOptions {
+  bool Smoke = false;
+  std::string Phase; ///< Empty = all phases.
+
+  bool runs(const char *Name) const {
+    return Phase.empty() || Phase == Name;
+  }
+};
+
+/// Appends a bench_timing.json record for a hand-timed phase: Points is
+/// the phase's native unit (records, runs, sweep points), so
+/// points_per_s carries its throughput.
+void reportPhase(const std::string &Bench, uint64_t Points,
+                 double WallSeconds, double TraceGenSeconds = 0) {
+  SweepTelemetry T;
+  T.Jobs = 1;
+  T.JobsSource = "explicit";
+  T.Points = Points;
+  T.WallSeconds = WallSeconds;
+  T.TraceGenSeconds = TraceGenSeconds;
+  std::printf("  -> %s\n", T.summary().c_str());
+  appendBenchTiming(Bench, T);
+}
+
+/// Phase 1: raw trace-generation throughput (records/s) per kernel.
+void benchTraceGen(const BenchOptions &Opts) {
+  std::printf("=== tracegen: generator throughput ===\n");
+  const uint64_t Records = Opts.Smoke ? 200000 : 2000000;
+  uint64_t Total = 0;
+  double GenBefore = double(traceGenNanos()) * 1e-9;
+  WallTimer Timer;
+  for (KernelId Kernel : allKernels()) {
+    KernelDataLayout Layout =
+        KernelDataLayout::makeLinear(Kernel, region::CpuPrivateBase);
+    GenRequest Req;
+    Req.Pu = PuKind::Cpu;
+    Req.InstCount = Records;
+    WallTimer KernelTimer;
+    TraceBuffer Trace =
+        KernelTraceGenerator::forKernel(Kernel).generateCompute(Req, Layout);
+    double Secs = KernelTimer.elapsedSeconds();
+    Total += Trace.size();
+    std::printf("  %-12s %8.1f Mrec/s (%llu records, %.3f s)\n",
+                kernelName(Kernel), double(Trace.size()) / Secs / 1e6,
+                static_cast<unsigned long long>(Trace.size()), Secs);
+  }
+  reportPhase("hetsim_bench_tracegen", Total, Timer.elapsedSeconds(),
+              double(traceGenNanos()) * 1e-9 - GenBefore);
+}
+
+/// Phase 2: end-to-end single runs, each kernel on each memory model.
+void benchSingleRun(const BenchOptions &Opts) {
+  std::printf("=== singlerun: per kernel x model ===\n");
+  std::vector<CaseStudy> Studies(allCaseStudies());
+  std::vector<KernelId> Kernels(allKernels());
+  if (Opts.Smoke) {
+    Studies = {CaseStudy::CpuGpu, CaseStudy::Fusion};
+    Kernels = {KernelId::Reduction, KernelId::MergeSort};
+  }
+  uint64_t Runs = 0;
+  double GenBefore = double(traceGenNanos()) * 1e-9;
+  WallTimer Timer;
+  for (CaseStudy Study : Studies) {
+    SystemConfig Config = SystemConfig::forCaseStudy(Study);
+    for (KernelId Kernel : Kernels) {
+      WallTimer RunTimer;
+      HeteroSimulator Sim(Config);
+      RunResult Result = Sim.run(Kernel);
+      std::printf("  %-12s %-12s %7.0f ms wall, %.3g sim-ns\n",
+                  caseStudyName(Study), kernelName(Kernel),
+                  RunTimer.elapsedSeconds() * 1e3, Result.Time.totalNs());
+      ++Runs;
+    }
+  }
+  reportPhase("hetsim_bench_singlerun", Runs, Timer.elapsedSeconds(),
+              double(traceGenNanos()) * 1e-9 - GenBefore);
+}
+
+/// Phase 3: the fig5 sweep through the SweepRunner (serial, cold cache —
+/// the configuration the committed BENCH_sweep.json baseline gates).
+void benchSweep(const BenchOptions &Opts) {
+  std::printf("=== sweep: fig5 case studies through SweepRunner ===\n");
+  TraceCache::global().clear();
+  std::vector<SweepPoint> Points;
+  for (CaseStudy Study : allCaseStudies())
+    for (KernelId Kernel : allKernels()) {
+      if (Opts.Smoke &&
+          (Study != CaseStudy::CpuGpu || Kernel > KernelId::Convolution))
+        continue;
+      Points.emplace_back(SystemConfig::forCaseStudy(Study), Kernel);
+    }
+  SweepRunner Runner(1);
+  Runner.run(Points);
+  std::printf("  -> %s\n", Runner.telemetry().summary().c_str());
+  appendBenchTiming("hetsim_bench_sweep", Runner.telemetry());
+}
+
+/// Phase 4: the Pattern-block closed-form fold against its per-record
+/// reference — the speedup the fast path buys on explicitly periodic
+/// steady-state traces, with an equality check.
+void benchFastPath(const BenchOptions &Opts) {
+  std::printf("=== fastpath: pattern fold vs per-record reference ===\n");
+  PatternBlock Pattern;
+  const uint32_t Pc = 0x400;
+  for (unsigned I = 0; I != 6; ++I)
+    Pattern.Prologue.emitAlu(Opcode::IntAlu, Pc + I * 4, uint8_t(8 + I), 0);
+  Pattern.Body.emitAlu(Opcode::IntAlu, Pc + 0x40, 8, 9);
+  Pattern.Body.emitAlu(Opcode::FpMac, Pc + 0x44, 9, 8, 10);
+  Pattern.Body.emitAlu(Opcode::IntAlu, Pc + 0x48, 10, 9);
+  Pattern.Body.emitBranch(Pc + 0x4C, /*Taken=*/true);
+  Pattern.BodyRepeats = Opts.Smoke ? 250000 : 2500000;
+  auto Block = std::make_shared<const BlockTrace>(std::move(Pattern));
+
+  auto RunOnce = [&](int Mode) {
+    MemHierConfig HierConfig;
+    MemorySystem Mem(HierConfig);
+    Mem.mapRange(PuKind::Cpu, region::CpuPrivateBase, 1 << 20);
+    CpuCore Core(CpuConfig(), Mem);
+    setFastPathForTesting(Mode);
+    SegmentResult R = Mode == 0 ? Core.run(Block->materialized(), 0)
+                                : Core.run(SharedTrace(Block), 0);
+    setFastPathForTesting(-1);
+    return R;
+  };
+
+  WallTimer RefTimer;
+  SegmentResult Ref = RunOnce(0);
+  double RefSecs = RefTimer.elapsedSeconds();
+  WallTimer FastTimer;
+  SegmentResult Fast = RunOnce(1);
+  double FastSecs = FastTimer.elapsedSeconds();
+
+  bool Equal = Ref.Cycles == Fast.Cycles && Ref.Insts == Fast.Insts &&
+               Ref.BranchMispredicts == Fast.BranchMispredicts &&
+               Ref.ICacheMisses == Fast.ICacheMisses;
+  std::printf("  %llu records: reference %.3f s, fold %.4f s (%.0fx), "
+              "results %s\n",
+              static_cast<unsigned long long>(Block->totalRecords()), RefSecs,
+              FastSecs, FastSecs > 0 ? RefSecs / FastSecs : 0.0,
+              Equal ? "identical" : "DIFFER");
+  reportPhase("hetsim_bench_fastpath", Block->totalRecords(), FastSecs);
+  if (!Equal) {
+    std::fprintf(stderr, "error: fold diverged from reference\n");
+    std::exit(1);
+  }
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  BenchOptions Opts;
+  for (int I = 1; I != Argc; ++I) {
+    if (std::strcmp(Argv[I], "--smoke") == 0) {
+      Opts.Smoke = true;
+    } else if (std::strcmp(Argv[I], "--phase") == 0 && I + 1 != Argc) {
+      Opts.Phase = Argv[++I];
+    } else {
+      std::fprintf(stderr,
+                   "usage: hetsim_bench [--smoke] "
+                   "[--phase tracegen|singlerun|sweep|fastpath]\n");
+      return 2;
+    }
+  }
+
+  std::printf("hetsim_bench%s\n\n", Opts.Smoke ? " (smoke)" : "");
+  if (Opts.runs("tracegen"))
+    benchTraceGen(Opts);
+  if (Opts.runs("singlerun"))
+    benchSingleRun(Opts);
+  if (Opts.runs("sweep"))
+    benchSweep(Opts);
+  if (Opts.runs("fastpath"))
+    benchFastPath(Opts);
+  return 0;
+}

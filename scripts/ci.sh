@@ -28,6 +28,15 @@ cmake --build build -j "$JOBS" >/dev/null
 ctest --test-dir build -L unit --output-on-failure -j "$JOBS" | tail -3
 ctest --test-dir build -L sweep --output-on-failure -j "$JOBS" | tail -3
 
+echo "== gate 1b: fast-path differential + bench smoke =="
+# The fast path must be bit-identical to the per-record reference
+# (HETSIM_FASTPATH=0 vs =1), and the microbenchmark harness must complete
+# a smoke pass (its fastpath phase self-checks fold equality and fails
+# the run on divergence).
+ctest --test-dir build -R fastpath --output-on-failure -j "$JOBS" | tail -3
+HETSIM_TIMING_JSON=build/bench-smoke-timing.json \
+  build/bench/hetsim_bench --smoke >/dev/null
+
 if [ "${HETSIM_SKIP_ASAN:-0}" != "1" ]; then
   echo "== gate 2: AddressSanitizer build + tests =="
   cmake -B build-asan -S . -DHETSIM_SANITIZE=address >/dev/null
@@ -76,6 +85,7 @@ for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] || continue
   name=$(basename "$b")
   [ "$name" = "microbench" ] && continue
+  [ "$name" = "hetsim_bench" ] && continue # wall-clock output, not golden
   "$b" > "$CHECK_OUT/$name.txt" 2>/dev/null
 done
 for e in build/examples/*; do

@@ -97,6 +97,24 @@ public:
   /// Resets statistics (contents are kept).
   void resetStats() { Stats = CacheStats(); }
 
+  /// Credits \p FoldedHits all-hit accesses without touching any line:
+  /// the closed-form retire path uses this after proving a window repeats
+  /// with every access hitting. \p StampAdvance moves the LRU clock
+  /// exactly as the per-access hit path (stamp = NextStamp++) would have.
+  void creditFoldedHits(uint64_t FoldedHits, uint64_t StampAdvance) {
+    Stats.Accesses += FoldedHits;
+    Stats.Hits += FoldedHits;
+    NextStamp += StampAdvance;
+  }
+
+  /// Advances the LRU stamp of the (present) line holding \p Address by
+  /// \p Delta — the folded equivalent of re-touching it once per window
+  /// while the stamp clock advances uniformly. No-op if absent.
+  void advanceLineStamp(Addr Address, uint64_t Delta) {
+    if (Line *L = findLine(Address))
+      L->LruStamp += Delta;
+  }
+
 private:
   struct Line {
     Addr Tag = 0;

@@ -69,10 +69,10 @@ CoherenceAction Directory::onAccess(PuKind Requestor, Addr LineAddress,
 }
 
 void Directory::onEviction(PuKind Pu, Addr LineAddress) {
-  auto It = Entries.find(LineAddress);
-  if (It == Entries.end())
+  Entry *Found = Entries.find(LineAddress);
+  if (!Found)
     return;
-  Entry &E = It->second;
+  Entry &E = *Found;
   switch (E.State) {
   case DirState::Uncached:
     break;
@@ -91,12 +91,12 @@ void Directory::onEviction(PuKind Pu, Addr LineAddress) {
       return;
     break;
   }
-  Entries.erase(It);
+  Entries.erase(LineAddress);
 }
 
 DirState Directory::state(Addr LineAddress) const {
-  auto It = Entries.find(LineAddress);
-  return It == Entries.end() ? DirState::Uncached : It->second.State;
+  const Entry *Found = Entries.find(LineAddress);
+  return Found ? Found->State : DirState::Uncached;
 }
 
 bool Directory::isSharer(PuKind Pu, Addr LineAddress) const {

@@ -12,9 +12,8 @@
 #ifndef HETSIM_CACHE_DIRECTORY_H
 #define HETSIM_CACHE_DIRECTORY_H
 
+#include "common/FlatMap.h"
 #include "common/Types.h"
-
-#include <unordered_map>
 
 namespace hetsim {
 
@@ -75,7 +74,7 @@ private:
     bool Dirty = false;
   };
 
-  std::unordered_map<Addr, Entry> Entries;
+  FlatU64Map<Entry> Entries; // line address -> state, open-addressed.
   DirectoryStats Stats;
 };
 

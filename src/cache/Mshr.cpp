@@ -8,11 +8,13 @@
 using namespace hetsim;
 
 void MshrFile::prune(Cycle Now) {
-  for (auto It = Entries.begin(); It != Entries.end();) {
-    if (It->second <= Now)
-      It = Entries.erase(It);
-    else
-      ++It;
+  for (size_t I = 0; I != Entries.size();) {
+    if (Entries[I].second <= Now) {
+      Entries[I] = Entries.back();
+      Entries.pop_back();
+    } else {
+      ++I;
+    }
   }
 }
 
@@ -22,14 +24,15 @@ MshrDecision MshrFile::onMiss(Addr LineAddress, Cycle Now, Cycle FillDone,
   MshrDecision Decision;
   prune(Now);
 
-  auto It = Entries.find(LineAddress);
-  if (It != Entries.end()) {
+  for (const auto &KV : Entries) {
+    if (KV.first != LineAddress)
+      continue;
     ++Merged;
     Decision.Merged = true;
     // The merged access still pays its own pre-miss latency (TLB walk,
     // page fault): the in-flight fill supplies the data, not a time
     // machine.
-    Decision.ReadyCycle = std::max(It->second, MinReady);
+    Decision.ReadyCycle = std::max(KV.second, MinReady);
     return Decision;
   }
 
@@ -46,7 +49,7 @@ MshrDecision MshrFile::onMiss(Addr LineAddress, Cycle Now, Cycle FillDone,
   }
 
   Cycle Done = FillDone + Decision.StallCycles;
-  Entries[LineAddress] = Done;
+  Entries.emplace_back(LineAddress, Done);
   Decision.ReadyCycle = Done;
   return Decision;
 }

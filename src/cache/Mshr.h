@@ -13,7 +13,8 @@
 
 #include "common/Types.h"
 
-#include <unordered_map>
+#include <utility>
+#include <vector>
 
 namespace hetsim {
 
@@ -55,7 +56,11 @@ private:
   void prune(Cycle Now);
 
   unsigned Capacity;
-  std::unordered_map<Addr, Cycle> Entries; // line -> completion cycle
+  /// line -> completion cycle. The file holds at most Capacity (16/32)
+  /// entries, so flat storage with linear probes and swap-remove pruning
+  /// stays in one or two cache lines; every decision (exact find, min,
+  /// prune) is order-independent.
+  std::vector<std::pair<Addr, Cycle>> Entries;
   uint64_t Merged = 0;
   uint64_t FullStalls = 0;
 };

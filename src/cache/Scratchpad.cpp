@@ -4,6 +4,8 @@
 
 #include "common/Error.h"
 
+#include <vector>
+
 using namespace hetsim;
 
 Cycle Scratchpad::access(Addr Offset, uint32_t Bytes, bool IsWrite) {
@@ -20,23 +22,54 @@ unsigned Scratchpad::conflictDegree(Addr Offset, unsigned Lanes,
                                     uint32_t StrideBytes) const {
   if (Lanes <= 1)
     return 1;
+  // The degree only depends on the offset modulo one full bank rotation
+  // (4 bytes/word * NumBanks words), so a tiny memo covers the handful of
+  // (offset-phase, stride, lanes) shapes a kernel produces.
+  Addr OffsetMod = Offset % (Addr(4) * NumBanks);
+  size_t Slot =
+      (size_t(OffsetMod) * 31 + size_t(StrideBytes) * 7 + Lanes) % Memo.size();
+  MemoEntry &E = Memo[Slot];
+  if (E.OffsetMod == OffsetMod && E.Stride == StrideBytes && E.Lanes == Lanes)
+    return E.Degree;
+  unsigned Degree = conflictDegreeUncached(OffsetMod, Lanes, StrideBytes);
+  E = {OffsetMod, StrideBytes, Lanes, Degree};
+  return Degree;
+}
+
+unsigned Scratchpad::conflictDegreeUncached(Addr Offset, unsigned Lanes,
+                                            uint32_t StrideBytes) const {
   // Words interleave across banks; count lanes per bank. Lanes hitting
-  // the SAME word broadcast (no conflict), so track distinct words.
-  unsigned Worst = 1;
-  for (unsigned Bank = 0; Bank != NumBanks; ++Bank) {
-    unsigned Count = 0;
-    Addr SeenWord = ~Addr(0);
-    for (unsigned Lane = 0; Lane != Lanes; ++Lane) {
-      Addr Word = (Offset + Addr(Lane) * StrideBytes) / 4;
-      if (Word % NumBanks != Bank)
-        continue;
-      if (Word == SeenWord)
-        continue; // Broadcast.
-      SeenWord = Word;
-      ++Count;
+  // the SAME word broadcast (no conflict): a bank counts a lane only when
+  // its word differs from the previous lane counted against that bank,
+  // mirroring the per-bank lane-order scan this replaces. One pass over
+  // the lanes with per-bank running state instead of a banks*lanes sweep.
+  constexpr unsigned MaxStackBanks = 64;
+  unsigned CountsBuf[MaxStackBanks];
+  Addr SeenBuf[MaxStackBanks];
+  std::vector<unsigned> CountsHeap;
+  std::vector<Addr> SeenHeap;
+  unsigned *Counts = CountsBuf;
+  Addr *Seen = SeenBuf;
+  if (NumBanks > MaxStackBanks) {
+    CountsHeap.assign(NumBanks, 0);
+    SeenHeap.assign(NumBanks, ~Addr(0));
+    Counts = CountsHeap.data();
+    Seen = SeenHeap.data();
+  } else {
+    for (unsigned I = 0; I != NumBanks; ++I) {
+      Counts[I] = 0;
+      Seen[I] = ~Addr(0);
     }
-    if (Count > Worst)
-      Worst = Count;
+  }
+  unsigned Worst = 1;
+  for (unsigned Lane = 0; Lane != Lanes; ++Lane) {
+    Addr Word = (Offset + Addr(Lane) * StrideBytes) / 4;
+    unsigned Bank = unsigned(Word % NumBanks);
+    if (Word == Seen[Bank])
+      continue; // Broadcast.
+    Seen[Bank] = Word;
+    if (++Counts[Bank] > Worst)
+      Worst = Counts[Bank];
   }
   return Worst;
 }

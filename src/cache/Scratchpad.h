@@ -13,6 +13,8 @@
 
 #include "common/Types.h"
 
+#include <array>
+
 namespace hetsim {
 
 /// A fixed-latency explicitly-managed local store with banked access:
@@ -46,13 +48,40 @@ public:
   uint64_t writeCount() const { return Writes; }
   uint64_t bankConflictCount() const { return BankConflicts; }
 
+  /// Bulk-credits \p Accesses folded accesses (closed-form fast path):
+  /// \p Reads/Writes/Conflicts are the per-period deltas times the number
+  /// of folded periods. Must mirror exactly what per-record replay of the
+  /// same accesses would have accumulated.
+  void creditFolded(uint64_t FoldedReads, uint64_t FoldedWrites,
+                    uint64_t FoldedConflicts) {
+    Reads += FoldedReads;
+    Writes += FoldedWrites;
+    BankConflicts += FoldedConflicts;
+  }
+
 private:
+  /// Memoized conflict degrees. The degree is a pure function of
+  /// (Offset mod 4*NumBanks, StrideBytes, Lanes): adding any multiple of
+  /// 4*NumBanks to the offset shifts every lane's word index by the same
+  /// multiple of NumBanks, preserving both bank assignment and word
+  /// equality. Direct-mapped; collisions just recompute.
+  struct MemoEntry {
+    Addr OffsetMod = ~Addr(0);
+    uint32_t Stride = 0;
+    unsigned Lanes = 0;
+    unsigned Degree = 0;
+  };
+
+  unsigned conflictDegreeUncached(Addr Offset, unsigned Lanes,
+                                  uint32_t StrideBytes) const;
+
   uint64_t SizeBytes;
   Cycle AccessLatency;
   unsigned NumBanks;
   uint64_t Reads = 0;
   uint64_t Writes = 0;
   uint64_t BankConflicts = 0;
+  mutable std::array<MemoEntry, 64> Memo{};
 };
 
 } // namespace hetsim

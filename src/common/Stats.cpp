@@ -141,3 +141,8 @@ std::string StatRegistry::renderCounters() const {
   }
   return Out;
 }
+
+StatRegistry &hetsim::processStats() {
+  static StatRegistry Registry;
+  return Registry;
+}

@@ -156,7 +156,7 @@ private:
     // still drains everything.)
     ExecStep Step;
     Step.Kind = ExecKind::SerialCompute;
-    Step.CpuTrace = TraceCache::global().serial(
+    Step.CpuTrace = TraceCache::global().serialShared(
         Kernel, Phase.SerialInsts, Out.Place.CpuLayout, SeedCounter++);
     Out.Steps.push_back(std::move(Step));
   }
@@ -231,15 +231,15 @@ private:
     CpuReq.InstCount = ScaledCpu;
     CpuReq.Seed = SeedCounter++;
     CpuReq.Split = WorkSplit::FirstHalf;
-    Step.CpuTrace =
-        TraceCache::global().compute(Kernel, CpuReq, Out.Place.CpuLayout);
+    Step.CpuTrace = TraceCache::global().computeShared(Kernel, CpuReq,
+                                                       Out.Place.CpuLayout);
     GenRequest GpuReq;
     GpuReq.Pu = PuKind::Gpu;
     GpuReq.InstCount = ScaledGpu;
     GpuReq.Seed = SeedCounter++;
     GpuReq.Split = WorkSplit::SecondHalf;
-    Step.GpuTrace =
-        TraceCache::global().compute(Kernel, GpuReq, Out.Place.GpuLayout);
+    Step.GpuTrace = TraceCache::global().computeShared(Kernel, GpuReq,
+                                                       Out.Place.GpuLayout);
     Step.PageFaultPages = Config.IdealComm ? 0 : newGpuFaultPages();
     Out.Steps.push_back(std::move(Step));
   }

@@ -15,27 +15,45 @@
 using namespace hetsim;
 
 std::string SweepTelemetry::summary() const {
-  char Buffer[256];
+  char Buffer[320];
   std::snprintf(Buffer, sizeof(Buffer),
                 "sweep: %llu points in %.3f s (%.1f points/s, %.3g sim-ns "
-                "per wall-s, jobs=%u, trace cache %.0f%% hits)",
+                "per wall-s, gen %.3f s / sim %.3f s, jobs=%u from %s, "
+                "trace cache %.0f%% hits)",
                 static_cast<unsigned long long>(Points), WallSeconds,
-                pointsPerSecond(), simNsPerWallSecond(), Jobs,
+                pointsPerSecond(), simNsPerWallSecond(), TraceGenSeconds,
+                simulateSeconds(), Jobs, JobsSource.c_str(),
                 100.0 * cacheHitRate());
   return Buffer;
 }
 
 void SweepTelemetry::merge(const SweepTelemetry &Other) {
   Jobs = Other.Jobs;
+  JobsSource = Other.JobsSource;
   Points += Other.Points;
   WallSeconds += Other.WallSeconds;
   SimNsTotal += Other.SimNsTotal;
+  TraceGenSeconds += Other.TraceGenSeconds;
   CacheHits += Other.CacheHits;
   CacheMisses += Other.CacheMisses;
 }
 
+/// Where a zero job-count request actually resolved from.
+static std::string resolveJobsSource(unsigned Requested) {
+  if (Requested != 0)
+    return "explicit";
+  if (const char *Env = std::getenv("HETSIM_JOBS")) {
+    char *End = nullptr;
+    long Value = std::strtol(Env, &End, 10);
+    if (End != Env && *End == '\0' && Value >= 1)
+      return "HETSIM_JOBS";
+  }
+  return "hardware";
+}
+
 SweepRunner::SweepRunner(unsigned JobCount)
-    : Jobs(JobCount == 0 ? ThreadPool::defaultJobs() : JobCount) {}
+    : Jobs(JobCount == 0 ? ThreadPool::defaultJobs() : JobCount),
+      JobsSource(resolveJobsSource(JobCount)) {}
 
 std::vector<RunResult>
 SweepRunner::run(const std::vector<SweepPoint> &Points) {
@@ -43,6 +61,7 @@ SweepRunner::run(const std::vector<SweepPoint> &Points) {
   Metrics.assign(Points.size(), MetricsSnapshot());
 
   TraceCacheStats Before = TraceCache::global().stats();
+  uint64_t GenBefore = traceGenNanos();
   WallTimer Timer;
   {
     ThreadPool Pool(Jobs);
@@ -69,13 +88,18 @@ SweepRunner::run(const std::vector<SweepPoint> &Points) {
 
   Telemetry = SweepTelemetry();
   Telemetry.Jobs = Jobs;
+  Telemetry.JobsSource = JobsSource;
   Telemetry.Points = Points.size();
   Telemetry.WallSeconds = Timer.elapsedSeconds();
+  Telemetry.TraceGenSeconds = double(traceGenNanos() - GenBefore) * 1e-9;
   for (const RunResult &Result : Results)
     Telemetry.SimNsTotal += Result.Time.totalNs();
   TraceCacheStats After = TraceCache::global().stats();
   Telemetry.CacheHits = After.Hits - Before.Hits;
   Telemetry.CacheMisses = After.Misses - Before.Misses;
+  // Mirror the process-lifetime cache counters into the stats registry so
+  // observability consumers see them without knowing about TraceCache.
+  TraceCache::global().publishStats(processStats());
   return Results;
 }
 
@@ -123,13 +147,16 @@ bool hetsim::appendBenchTiming(const std::string &Bench,
                "{\"bench\":\"%s\",\"points\":%llu,\"jobs\":%u,"
                "\"wall_s\":%.6f,\"points_per_s\":%.3f,"
                "\"sim_ns_per_wall_s\":%.1f,\"cache_hits\":%llu,"
-               "\"cache_misses\":%llu,\"cache_hit_rate\":%.4f}\n",
+               "\"cache_misses\":%llu,\"cache_hit_rate\":%.4f,"
+               "\"jobs_source\":\"%s\",\"trace_gen_s\":%.6f,"
+               "\"simulate_s\":%.6f}\n",
                Bench.c_str(), static_cast<unsigned long long>(T.Points),
                T.Jobs, T.WallSeconds, T.pointsPerSecond(),
                T.simNsPerWallSecond(),
                static_cast<unsigned long long>(T.CacheHits),
                static_cast<unsigned long long>(T.CacheMisses),
-               T.cacheHitRate());
+               T.cacheHitRate(), T.JobsSource.c_str(), T.TraceGenSeconds,
+               T.simulateSeconds());
   std::fclose(File);
   return true;
 }

@@ -41,9 +41,15 @@ struct SweepPoint {
 /// Wall-clock telemetry of one sweep.
 struct SweepTelemetry {
   unsigned Jobs = 1;      ///< Worker count the sweep ran with.
+  /// Where Jobs came from: "explicit" (caller passed a count),
+  /// "HETSIM_JOBS" (environment), or "hardware" (hardware_concurrency).
+  std::string JobsSource = "explicit";
   uint64_t Points = 0;    ///< Sweep points executed.
   double WallSeconds = 0; ///< End-to-end wall time of the sweep.
   double SimNsTotal = 0;  ///< Sum of simulated total-ns over all points.
+  /// CPU seconds spent producing trace records during the sweep, summed
+  /// across worker threads (can exceed WallSeconds when parallel).
+  double TraceGenSeconds = 0;
   uint64_t CacheHits = 0;   ///< Trace-cache hits during the sweep.
   uint64_t CacheMisses = 0; ///< Trace-cache misses during the sweep.
 
@@ -57,6 +63,12 @@ struct SweepTelemetry {
   double cacheHitRate() const {
     uint64_t Total = CacheHits + CacheMisses;
     return Total == 0 ? 0.0 : double(CacheHits) / double(Total);
+  }
+  /// Wall time not attributable to trace generation (clamped at zero —
+  /// with parallel workers gen CPU-seconds can exceed wall time).
+  double simulateSeconds() const {
+    return TraceGenSeconds >= WallSeconds ? 0.0
+                                          : WallSeconds - TraceGenSeconds;
   }
 
   /// One human-readable summary line (no trailing newline).
@@ -89,6 +101,7 @@ public:
 
 private:
   unsigned Jobs;
+  std::string JobsSource;
   SweepTelemetry Telemetry;
   std::vector<MetricsSnapshot> Metrics;
 };

@@ -101,32 +101,43 @@ Cycle DramSystem::drainFrFcfs(Cycle Now) {
     ++Stats.BatchDrains;
     Stats.BatchedRequests += Pending.size();
   }
-  std::vector<bool> ServicedFlags(Pending.size(), false);
+
+  // Address decode (bank index, row) is loop-invariant per request, so
+  // compute it once up front instead of re-dividing on every first-ready
+  // scan; the scans then compare a cached row against the bank's OpenRow.
+  struct Decoded {
+    uint64_t Row;
+    uint32_t BankIndex;
+    bool Serviced;
+  };
+  std::vector<Decoded> Info(Pending.size());
+  for (size_t I = 0; I != Pending.size(); ++I) {
+    Addr Line = Pending[I].LineAddress;
+    Info[I] = {rowOf(Line),
+               uint32_t(channelOf(Line) * Config.BanksPerChannel +
+                        bankOf(Line)),
+               false};
+  }
+
   size_t Remaining = Pending.size();
+  size_t FirstAlive = 0; // Oldest unserviced request: the FCFS fallback.
 
   while (Remaining != 0) {
-    // First-ready: oldest request whose bank has its row open.
-    size_t Pick = Pending.size();
-    for (size_t I = 0; I != Pending.size(); ++I) {
-      if (ServicedFlags[I])
+    while (FirstAlive != Pending.size() && Info[FirstAlive].Serviced)
+      ++FirstAlive;
+    // First-ready: oldest request whose bank has its row open; fall back
+    // to first-come-first-served (the oldest alive request).
+    size_t Pick = FirstAlive;
+    for (size_t I = FirstAlive; I != Pending.size(); ++I) {
+      if (Info[I].Serviced)
         continue;
-      if (bank(Pending[I].LineAddress).OpenRow ==
-          rowOf(Pending[I].LineAddress)) {
+      if (Banks[Info[I].BankIndex].OpenRow == Info[I].Row) {
         Pick = I;
         break;
       }
     }
-    // Fall back to first-come-first-served.
-    if (Pick == Pending.size()) {
-      for (size_t I = 0; I != Pending.size(); ++I) {
-        if (!ServicedFlags[I]) {
-          Pick = I;
-          break;
-        }
-      }
-    }
     assert(Pick != Pending.size() && "no request picked");
-    ServicedFlags[Pick] = true;
+    Info[Pick].Serviced = true;
     --Remaining;
     Cycle Done = accessUncapped(Pending[Pick].LineAddress, Now,
                                 Pending[Pick].IsWrite);

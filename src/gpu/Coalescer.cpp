@@ -7,10 +7,10 @@
 
 using namespace hetsim;
 
-std::vector<Addr> hetsim::coalesceWarpAccess(const TraceRecord &Record) {
+void hetsim::coalesceWarpAccess(const TraceRecord &Record,
+                                std::vector<Addr> &Lines) {
   assert(isGlobalMemoryOp(Record.Op) && "not a global memory op");
-  std::vector<Addr> Lines;
-  Lines.reserve(Record.SimdLanes);
+  Lines.clear();
   for (unsigned Lane = 0; Lane != Record.SimdLanes; ++Lane) {
     Addr LaneAddr =
         Record.MemAddr + uint64_t(Lane) * Record.LaneStrideBytes;
@@ -23,5 +23,10 @@ std::vector<Addr> hetsim::coalesceWarpAccess(const TraceRecord &Record) {
   }
   std::sort(Lines.begin(), Lines.end());
   Lines.erase(std::unique(Lines.begin(), Lines.end()), Lines.end());
+}
+
+std::vector<Addr> hetsim::coalesceWarpAccess(const TraceRecord &Record) {
+  std::vector<Addr> Lines;
+  coalesceWarpAccess(Record, Lines);
   return Lines;
 }

@@ -17,6 +17,12 @@
 
 namespace hetsim {
 
+/// Fills \p Lines with the distinct cache-line base addresses touched by a
+/// warp memory instruction (sorted ascending). The vector is cleared first;
+/// passing the same vector across calls reuses its capacity, so the warp
+/// issue loop performs no per-record allocation.
+void coalesceWarpAccess(const TraceRecord &Record, std::vector<Addr> &Lines);
+
 /// Returns the distinct cache-line base addresses touched by a warp memory
 /// instruction (sorted ascending).
 std::vector<Addr> coalesceWarpAccess(const TraceRecord &Record);

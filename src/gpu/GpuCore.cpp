@@ -2,9 +2,11 @@
 
 #include "gpu/GpuCore.h"
 
+#include "cache/Scratchpad.h"
 #include "common/Error.h"
 #include "gpu/Coalescer.h"
 #include "memory/MemorySystem.h"
+#include "trace/ComputeBlock.h"
 
 #include <algorithm>
 #include <cassert>
@@ -37,37 +39,38 @@ struct WarpState {
   }
 };
 
-} // namespace
+/// The throughput model's full state with the reference per-record update
+/// in step(). The trace is striped across NumWarps contexts in chunks of
+/// WarpChunkRecords (so whole loop iterations stay inside one register
+/// file); each context executes strictly in order with scoreboarded
+/// operands and stall-on-branch; contexts are independent, which models a
+/// zero-overhead warp scheduler hiding one warp's memory latency under the
+/// others. Both the reference loop and the fast paths drive this one
+/// update function.
+struct GpuPipeline {
+  const GpuConfig &Config;
+  MemorySystem &Mem;
+  SegmentResult &Result;
 
-SegmentResult GpuCore::run(const TraceBuffer &Trace, Cycle StartCycle) {
-  return run(Trace.records().data(), Trace.size(), StartCycle);
-}
+  const unsigned W;
+  const unsigned Chunk;
+  const unsigned PendingPerWarp;
 
-SegmentResult GpuCore::run(const TraceRecord *Records, size_t Count,
-                           Cycle StartCycle) {
-  // Throughput model: the trace is striped across NumWarps contexts in
-  // chunks of WarpChunkRecords (so whole loop iterations stay inside one
-  // register file). Each context executes strictly in order with
-  // scoreboarded operands and stall-on-branch; contexts are independent,
-  // which models a zero-overhead warp scheduler hiding one warp's memory
-  // latency under the others. The segment's cycle count is the slowest
-  // context, floored by the core's issue bandwidth (IssueWidth per cycle).
-  SegmentResult Result;
-  Result.Insts = Count;
-  if (Count == 0)
-    return Result;
+  std::vector<WarpState> Warps;
+  Cycle LastComplete;
+  uint64_t Index = 0; ///< Global record index (drives warp striping).
+  std::vector<Addr> Lines; // Reused across records: no per-record allocation.
 
-  const unsigned W = Config.NumWarps;
-  const unsigned Chunk = std::max(1u, Config.WarpChunkRecords);
-  const unsigned PendingPerWarp =
-      std::max(1u, Config.MaxPendingLoads / W + 1);
+  GpuPipeline(const GpuConfig &Cfg, MemorySystem &Memory, SegmentResult &Res,
+              Cycle StartCycle)
+      : Config(Cfg), Mem(Memory), Result(Res), W(Cfg.NumWarps),
+        Chunk(std::max(1u, Cfg.WarpChunkRecords)),
+        PendingPerWarp(std::max(1u, Cfg.MaxPendingLoads / W + 1)),
+        Warps(W, WarpState(StartCycle)), LastComplete(StartCycle) {}
 
-  std::vector<WarpState> Warps(W, WarpState(StartCycle));
-  Cycle LastComplete = StartCycle;
-
-  for (size_t I = 0; I != Count; ++I) {
-    const TraceRecord &R = Records[I];
-    WarpState &Warp = Warps[(I / Chunk) % W];
+  void step(const TraceRecord &R) {
+    WarpState &Warp = Warps[(Index / Chunk) % W];
+    ++Index;
 
     Cycle IssueCycle = Warp.NextIssue;
     if (R.SrcRegA != NoReg)
@@ -86,7 +89,8 @@ SegmentResult GpuCore::run(const TraceRecord *Records, size_t Count,
         Warp.retirePendingBefore(IssueCycle);
       }
       Cycle WarpDone = IssueCycle;
-      for (Addr Line : coalesceWarpAccess(R)) {
+      coalesceWarpAccess(R, Lines);
+      for (Addr Line : Lines) {
         MemAccessResult MemResult = Mem.access(
             PuKind::Gpu, Line, CacheLineBytes, isStoreOp(R.Op), IssueCycle);
         ++Result.MemAccesses;
@@ -128,9 +132,228 @@ SegmentResult GpuCore::run(const TraceRecord *Records, size_t Count,
     LastComplete = std::max(LastComplete, Complete);
   }
 
-  assert(LastComplete >= StartCycle && "time went backwards");
-  Cycle CriticalPath = LastComplete - StartCycle;
+  void runSpan(const TraceRecord *Records, size_t Count) {
+    for (size_t I = 0; I != Count; ++I)
+      step(Records[I]);
+  }
+};
+
+/// A boundary snapshot for the fixed-point check: every cycle-valued
+/// component of every warp, plus the counters the fold must extrapolate.
+struct GpuSnap {
+  std::vector<std::vector<Cycle>> RegReady; // Per warp.
+  std::vector<Cycle> NextIssue;
+  std::vector<Cycle> WarpLastComplete;
+  Cycle LastComplete;
+  uint64_t BranchMispredicts;
+  uint64_t SmemReads, SmemWrites, SmemConflicts;
+
+  static GpuSnap of(const GpuPipeline &P, const Scratchpad &Smem) {
+    GpuSnap S;
+    S.RegReady.reserve(P.Warps.size());
+    for (const WarpState &Warp : P.Warps) {
+      S.RegReady.push_back(Warp.RegReady);
+      S.NextIssue.push_back(Warp.NextIssue);
+      S.WarpLastComplete.push_back(Warp.LastComplete);
+    }
+    S.LastComplete = P.LastComplete;
+    S.BranchMispredicts = P.Result.BranchMispredicts;
+    S.SmemReads = Smem.readCount();
+    S.SmemWrites = Smem.writeCount();
+    S.SmemConflicts = Smem.bankConflictCount();
+    return S;
+  }
+};
+
+struct GpuFoldPlan {
+  Cycle D = 0;
+  std::vector<std::vector<bool>> RegMoves; // Per warp, per register.
+  uint64_t DBm = 0;
+  uint64_t DSmemReads = 0, DSmemWrites = 0, DSmemConflicts = 0;
+};
+
+/// GPU analogue of the CPU fixed-point check: both observed windows must
+/// advance every warp's cycle state by the same D, with non-advancing
+/// registers provably inert (constant value at or below the warp's
+/// strictly-increasing NextIssue at s1), and counter deltas equal.
+bool checkGpuFold(const GpuSnap &S1, const GpuSnap &S2, const GpuSnap &S3,
+                  GpuFoldPlan &Plan) {
+  if (S2.LastComplete < S1.LastComplete)
+    return false;
+  Cycle D = S2.LastComplete - S1.LastComplete;
+  if (S3.LastComplete - S2.LastComplete != D)
+    return false;
+
+  const size_t W = S1.NextIssue.size();
+  Plan.RegMoves.assign(W, {});
+  for (size_t Wi = 0; Wi != W; ++Wi) {
+    if (S2.NextIssue[Wi] - S1.NextIssue[Wi] != D ||
+        S3.NextIssue[Wi] - S2.NextIssue[Wi] != D)
+      return false;
+    if (S2.WarpLastComplete[Wi] - S1.WarpLastComplete[Wi] != D ||
+        S3.WarpLastComplete[Wi] - S2.WarpLastComplete[Wi] != D)
+      return false;
+    Plan.RegMoves[Wi].assign(S1.RegReady[Wi].size(), false);
+    for (size_t R = 0; R != S1.RegReady[Wi].size(); ++R) {
+      Cycle D12 = S2.RegReady[Wi][R] - S1.RegReady[Wi][R];
+      Cycle D23 = S3.RegReady[Wi][R] - S2.RegReady[Wi][R];
+      if (D12 != D23)
+        return false;
+      if (D12 == D) {
+        Plan.RegMoves[Wi][R] = true;
+        continue;
+      }
+      if (D12 == 0 && S1.RegReady[Wi][R] <= S1.NextIssue[Wi])
+        continue; // Inert: NextIssue only grows, so this max never wins.
+      return false;
+    }
+  }
+
+  uint64_t DBm = S2.BranchMispredicts - S1.BranchMispredicts;
+  if (S3.BranchMispredicts - S2.BranchMispredicts != DBm)
+    return false;
+  Plan.DSmemReads = S2.SmemReads - S1.SmemReads;
+  Plan.DSmemWrites = S2.SmemWrites - S1.SmemWrites;
+  Plan.DSmemConflicts = S2.SmemConflicts - S1.SmemConflicts;
+  if (S3.SmemReads - S2.SmemReads != Plan.DSmemReads ||
+      S3.SmemWrites - S2.SmemWrites != Plan.DSmemWrites ||
+      S3.SmemConflicts - S2.SmemConflicts != Plan.DSmemConflicts)
+    return false;
+
+  Plan.D = D;
+  Plan.DBm = DBm;
+  return true;
+}
+
+void applyGpuFold(GpuPipeline &Pipe, const GpuFoldPlan &Plan, uint64_t Rem,
+                  size_t K, Scratchpad &Smem) {
+  const Cycle Adv = Plan.D * Rem;
+  Pipe.LastComplete += Adv;
+  for (size_t Wi = 0; Wi != Pipe.Warps.size(); ++Wi) {
+    WarpState &Warp = Pipe.Warps[Wi];
+    Warp.NextIssue += Adv;
+    Warp.LastComplete += Adv;
+    for (size_t R = 0; R != Warp.RegReady.size(); ++R)
+      if (Plan.RegMoves[Wi][R])
+        Warp.RegReady[R] += Adv;
+  }
+  Pipe.Index += Rem * K;
+  Pipe.Result.BranchMispredicts += Plan.DBm * Rem;
+  Smem.creditFolded(Plan.DSmemReads * Rem, Plan.DSmemWrites * Rem,
+                    Plan.DSmemConflicts * Rem);
+}
+
+bool gpuSpanTouchesGlobalMemory(const TraceBuffer &Body) {
+  for (const TraceRecord &R : Body)
+    if (isGlobalMemoryOp(R.Op))
+      return true;
+  return false;
+}
+
+} // namespace
+
+SegmentResult GpuCore::run(const TraceBuffer &Trace, Cycle StartCycle) {
+  return run(Trace.records().data(), Trace.size(), StartCycle);
+}
+
+SegmentResult GpuCore::run(const TraceRecord *Records, size_t Count,
+                           Cycle StartCycle) {
+  SegmentResult Result;
+  Result.Insts = Count;
+  if (Count == 0)
+    return Result;
+
+  GpuPipeline Pipe(Config, Mem, Result, StartCycle);
+  Pipe.runSpan(Records, Count);
+
+  assert(Pipe.LastComplete >= StartCycle && "time went backwards");
+  Cycle CriticalPath = Pipe.LastComplete - StartCycle;
   Cycle BandwidthFloor = ceilDiv(Count, Config.IssueWidth);
+  Result.Cycles = std::max(CriticalPath, BandwidthFloor);
+  return Result;
+}
+
+SegmentResult GpuCore::run(const SharedTrace &Trace, Cycle StartCycle) {
+  const BlockTrace *Block = Trace.blocks();
+  if (!Block || !fastPathEnabled())
+    return run(Trace.buffer(), StartCycle);
+  if (Block->kind() == BlockTrace::Kind::Pattern)
+    return runPatternBlock(*Block, StartCycle);
+  return runWindowed(*Block, StartCycle);
+}
+
+SegmentResult GpuCore::runWindowed(const BlockTrace &Block,
+                                   Cycle StartCycle) {
+  SegmentResult Result;
+  Result.Insts = Block.totalRecords();
+  if (Result.Insts == 0)
+    return Result;
+
+  GpuPipeline Pipe(Config, Mem, Result, StartCycle);
+  BlockExpander Expander(Block);
+  TraceBuffer Window;
+  while (!Expander.done()) {
+    Expander.next(Window);
+    Pipe.runSpan(Window.records().data(), Window.size());
+  }
+
+  assert(Pipe.LastComplete >= StartCycle && "time went backwards");
+  Cycle CriticalPath = Pipe.LastComplete - StartCycle;
+  Cycle BandwidthFloor = ceilDiv(Result.Insts, Config.IssueWidth);
+  Result.Cycles = std::max(CriticalPath, BandwidthFloor);
+  return Result;
+}
+
+SegmentResult GpuCore::runPatternBlock(const BlockTrace &Block,
+                                       Cycle StartCycle) {
+  const PatternBlock &P = Block.pattern();
+  SegmentResult Result;
+  Result.Insts = Block.totalRecords();
+  if (Result.Insts == 0)
+    return Result;
+
+  GpuPipeline Pipe(Config, Mem, Result, StartCycle);
+  Pipe.runSpan(P.Prologue.records().data(), P.Prologue.size());
+
+  const size_t K = P.Body.size();
+  const uint64_t Rotation = uint64_t(Pipe.Chunk) * Pipe.W;
+  uint64_t Done = 0;
+  // Fold preconditions: the body must contain no global-memory records
+  // (cache/TLB/DRAM evolution is aperiodic) and must be a whole number of
+  // warp rotations, so every repetition stripes records onto warps the
+  // same way. Scratchpad traffic is fine — its timing is stateless and
+  // its counters extrapolate linearly.
+  if (K != 0 && P.BodyRepeats > 0 && K % Rotation == 0 &&
+      !gpuSpanTouchesGlobalMemory(P.Body)) {
+    const uint64_t Warmup = 3;
+    if (P.BodyRepeats >= Warmup + 3) {
+      Scratchpad &Smem = Mem.scratchpad();
+      for (; Done != Warmup; ++Done)
+        Pipe.runSpan(P.Body.records().data(), K);
+      GpuSnap S1 = GpuSnap::of(Pipe, Smem);
+      Pipe.runSpan(P.Body.records().data(), K);
+      ++Done;
+      GpuSnap S2 = GpuSnap::of(Pipe, Smem);
+      Pipe.runSpan(P.Body.records().data(), K);
+      ++Done;
+      GpuSnap S3 = GpuSnap::of(Pipe, Smem);
+
+      GpuFoldPlan Plan;
+      if (checkGpuFold(S1, S2, S3, Plan)) {
+        uint64_t Rem = P.BodyRepeats - Done;
+        applyGpuFold(Pipe, Plan, Rem, K, Smem);
+        Done = P.BodyRepeats;
+      }
+    }
+  }
+  for (; Done != P.BodyRepeats; ++Done)
+    Pipe.runSpan(P.Body.records().data(), K);
+
+  Pipe.runSpan(P.Epilogue.records().data(), P.Epilogue.size());
+
+  assert(Pipe.LastComplete >= StartCycle && "time went backwards");
+  Cycle CriticalPath = Pipe.LastComplete - StartCycle;
+  Cycle BandwidthFloor = ceilDiv(Result.Insts, Config.IssueWidth);
   Result.Cycles = std::max(CriticalPath, BandwidthFloor);
   return Result;
 }

@@ -42,6 +42,20 @@ MemorySystem::MemorySystem(const MemHierConfig &Cfg)
   BgDrains = &Stats.counterRef("dram.cpu.bg_drains");
   BgRequests = &Stats.counterRef("dram.cpu.bg_reqs");
   BgDrainCycles = &Stats.histogramRef("dram.cpu.bg_drain_cycles");
+
+  // Per-access counters, likewise bound once so access() never hashes a
+  // counter name.
+  MemCpuAccesses = &Stats.counterRef("mem.cpu_accesses");
+  MemGpuAccesses = &Stats.counterRef("mem.gpu_accesses");
+  MemDemandMaps = &Stats.counterRef("mem.demand_maps");
+  MemCohRemote = &Stats.counterRef("mem.coh_remote");
+  MemCohWritebacks = &Stats.counterRef("mem.coh_writebacks");
+  MemSpaceViolations = &Stats.counterRef("mem.space_violations");
+  MemOwnershipViolations = &Stats.counterRef("mem.ownership_violations");
+  MemPagefaults = &Stats.counterRef("mem.pagefaults");
+  MemGpuL1Writebacks = &Stats.counterRef("mem.gpu_l1_writebacks");
+  MemPrefetchFills = &Stats.counterRef("mem.prefetch_fills");
+  MemMshrMerges = &Stats.counterRef("mem.mshr_merges");
 }
 
 void MemorySystem::drainBackground(Cycle NowCpu) {
@@ -78,12 +92,12 @@ bool MemorySystem::applyCoherence(PuKind Requestor, Addr PAddr, bool IsWrite,
   if (!Action.InvalidateRemote && !Action.FetchFromRemote)
     return false;
 
-  Stats.increment("mem.coh_remote");
+  ++*MemCohRemote;
   // Remote operations touch the other PU's private caches.
   if (Requestor == PuKind::Cpu) {
     if (Action.FetchFromRemote) {
       if (IsWrite ? GpuL1->invalidate(PAddr) : GpuL1->downgradeToShared(PAddr))
-        Stats.increment("mem.coh_writebacks");
+        ++*MemCohWritebacks;
     } else if (Action.InvalidateRemote) {
       GpuL1->invalidate(PAddr);
     }
@@ -94,7 +108,7 @@ bool MemorySystem::applyCoherence(PuKind Requestor, Addr PAddr, bool IsWrite,
       bool Dirty2 =
           IsWrite ? CpuL2->invalidate(PAddr) : CpuL2->downgradeToShared(PAddr);
       if (Dirty1 || Dirty2)
-        Stats.increment("mem.coh_writebacks");
+        ++*MemCohWritebacks;
     } else if (Action.InvalidateRemote) {
       CpuL1->invalidate(PAddr);
       CpuL2->invalidate(PAddr);
@@ -154,14 +168,15 @@ Cycle MemorySystem::uncoreAccess(PuKind Pu, Addr PAddr, bool IsWrite,
   return BackToTile + ReturnHops;
 }
 
-MemAccessResult MemorySystem::access(PuKind Pu, Addr VAddr, uint32_t Bytes,
+MemAccessResult MemorySystem::access(PuKind Pu, Addr VAddr,
+                                     [[maybe_unused]] uint32_t Bytes,
                                      bool IsWrite, Cycle NowPu,
                                      bool ExplicitHint) {
   assert(Bytes > 0 && Bytes <= CacheLineBytes &&
          "per-access footprint is at most one line");
   MemAccessResult Result;
   const bool IsCpu = Pu == PuKind::Cpu;
-  Stats.increment(IsCpu ? "mem.cpu_accesses" : "mem.gpu_accesses");
+  ++*(IsCpu ? MemCpuAccesses : MemGpuAccesses);
 
   Cycle Latency = 0;
 
@@ -176,7 +191,7 @@ MemAccessResult MemorySystem::access(PuKind Pu, Addr VAddr, uint32_t Bytes,
   if (!Translated) {
     // Demand-map: experiment setup maps ranges up front; stray addresses
     // (e.g. wrapped cursors just past an object) are mapped on demand.
-    Stats.increment("mem.demand_maps");
+    ++*MemDemandMaps;
     mapRange(Pu, alignDown(VAddr, Pt.pageBytes()), Pt.pageBytes());
     Translated = Pt.translate(VAddr);
     assert(Translated && "demand map failed");
@@ -187,19 +202,19 @@ MemAccessResult MemorySystem::access(PuKind Pu, Addr VAddr, uint32_t Bytes,
   // the model does not give it is a program error under that model.
   if (Policy.SpaceModel && !Policy.SpaceModel->canAccess(Pu, VAddr)) {
     Result.SpaceViolation = true;
-    Stats.increment("mem.space_violations");
+    ++*MemSpaceViolations;
   }
 
   // 3. Shared-space policies (ownership, first touch).
   if (regionOf(VAddr) == MemRegion::Shared) {
     if (Policy.Ownership && !Policy.Ownership->checkAccess(Pu, VAddr)) {
       Result.OwnershipViolation = true;
-      Stats.increment("mem.ownership_violations");
+      ++*MemOwnershipViolations;
     }
     if (Policy.FirstTouch && (!Policy.FaultOnlyGpu || !IsCpu)) {
       if (Policy.FirstTouch->touch(VAddr)) {
         Result.PageFault = true;
-        Stats.increment("mem.pagefaults");
+        ++*MemPagefaults;
         Latency += Policy.PageFaultLatency;
       }
     }
@@ -229,7 +244,7 @@ MemAccessResult MemorySystem::access(PuKind Pu, Addr VAddr, uint32_t Bytes,
     if (IsCpu)
       CpuL2->access(L1Result.VictimAddr, /*IsWrite=*/true);
     else
-      Stats.increment("mem.gpu_l1_writebacks");
+      ++*MemGpuL1Writebacks;
   }
 
   if (IsCpu) {
@@ -243,7 +258,7 @@ MemAccessResult MemorySystem::access(PuKind Pu, Addr VAddr, uint32_t Bytes,
       for (Addr PrefetchLine : Prefetcher.onAccess(Line)) {
         if (CpuL2->probe(PrefetchLine))
           continue;
-        Stats.increment("mem.prefetch_fills");
+        ++*MemPrefetchFills;
         CacheAccessResult Fill = CpuL2->access(PrefetchLine, false);
         if (Fill.WroteBack) {
           CpuDram->enqueue(Fill.VictimAddr, /*IsWrite=*/true);
@@ -292,7 +307,7 @@ MemAccessResult MemorySystem::access(PuKind Pu, Addr VAddr, uint32_t Bytes,
   Cycle Ready = Decision.ReadyCycle;
   Result.Latency = Ready > NowPu ? Ready - NowPu : Latency + UncorePu;
   if (Decision.Merged)
-    Stats.increment("mem.mshr_merges");
+    ++*MemMshrMerges;
   return Result;
 }
 

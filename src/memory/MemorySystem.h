@@ -246,6 +246,18 @@ private:
   uint64_t *BgDrains = nullptr;
   uint64_t *BgRequests = nullptr;
   StatHistogram *BgDrainCycles = nullptr;
+  // Per-access counters, same registration-time binding.
+  uint64_t *MemCpuAccesses = nullptr;
+  uint64_t *MemGpuAccesses = nullptr;
+  uint64_t *MemDemandMaps = nullptr;
+  uint64_t *MemCohRemote = nullptr;
+  uint64_t *MemCohWritebacks = nullptr;
+  uint64_t *MemSpaceViolations = nullptr;
+  uint64_t *MemOwnershipViolations = nullptr;
+  uint64_t *MemPagefaults = nullptr;
+  uint64_t *MemGpuL1Writebacks = nullptr;
+  uint64_t *MemPrefetchFills = nullptr;
+  uint64_t *MemMshrMerges = nullptr;
   std::function<void(const BgDrainEvent &)> DrainHook;
 };
 

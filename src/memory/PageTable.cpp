@@ -29,21 +29,14 @@ void PageTable::mapRange(Addr VBase, uint64_t Bytes, PhysicalMemory &Device) {
   uint64_t FirstVpn = vpnOf(VBase);
   uint64_t LastVpn = vpnOf(VBase + Bytes - 1);
   for (uint64_t Vpn = FirstVpn; Vpn <= LastVpn; ++Vpn) {
-    if (Map.count(Vpn))
+    if (Map.contains(Vpn))
       continue;
     Map[Vpn] = Device.allocate(PageBytes, PageBytes);
   }
 }
 
-std::optional<Addr> PageTable::translate(Addr VAddr) const {
-  auto It = Map.find(vpnOf(VAddr));
-  if (It == Map.end())
-    return std::nullopt;
-  return It->second + (VAddr & (PageBytes - 1));
-}
-
 bool PageTable::isMapped(Addr VAddr) const {
-  return Map.count(vpnOf(VAddr)) != 0;
+  return Map.contains(vpnOf(VAddr));
 }
 
 void PageTable::unmapRange(Addr VBase, uint64_t Bytes) {

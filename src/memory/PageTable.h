@@ -12,11 +12,11 @@
 #ifndef HETSIM_MEMORY_PAGETABLE_H
 #define HETSIM_MEMORY_PAGETABLE_H
 
+#include "common/FlatMap.h"
 #include "common/Types.h"
 
 #include <optional>
 #include <string>
-#include <unordered_map>
 
 namespace hetsim {
 
@@ -56,7 +56,14 @@ public:
   void mapRange(Addr VBase, uint64_t Bytes, PhysicalMemory &Device);
 
   /// Translates \p VAddr; std::nullopt means a (hard) page-table miss.
-  std::optional<Addr> translate(Addr VAddr) const;
+  /// One open-addressed probe — this sits on every memory access that
+  /// misses the TLB, so it must not chase unordered_map buckets.
+  std::optional<Addr> translate(Addr VAddr) const {
+    const Addr *Ppn = Map.find(vpnOf(VAddr));
+    if (!Ppn)
+      return std::nullopt;
+    return *Ppn + (VAddr & (PageBytes - 1));
+  }
 
   /// True if the page containing \p VAddr is mapped.
   bool isMapped(Addr VAddr) const;
@@ -72,7 +79,7 @@ private:
 
   PuKind Owner;
   uint64_t PageBytes;
-  std::unordered_map<uint64_t, Addr> Map; // VPN -> physical page base.
+  FlatU64Map<Addr> Map; // VPN -> physical page base.
 };
 
 } // namespace hetsim

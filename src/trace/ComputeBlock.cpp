@@ -1,0 +1,154 @@
+//===- trace/ComputeBlock.cpp ---------------------------------------------===//
+
+#include "trace/ComputeBlock.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cstdlib>
+#include <cstring>
+
+using namespace hetsim;
+
+static std::atomic<int> FastPathOverride{-1};
+static std::atomic<uint64_t> GenNanos{0};
+
+uint64_t hetsim::traceGenNanos() {
+  return GenNanos.load(std::memory_order_relaxed);
+}
+
+void hetsim::addTraceGenNanos(uint64_t Nanos) {
+  GenNanos.fetch_add(Nanos, std::memory_order_relaxed);
+}
+
+bool hetsim::fastPathEnabled() {
+  int Forced = FastPathOverride.load(std::memory_order_relaxed);
+  if (Forced >= 0)
+    return Forced != 0;
+  static const bool FromEnv = [] {
+    const char *Env = std::getenv("HETSIM_FASTPATH");
+    return !Env || std::strcmp(Env, "0") != 0;
+  }();
+  return FromEnv;
+}
+
+void hetsim::setFastPathForTesting(int Mode) {
+  assert(Mode >= -1 && Mode <= 1 && "invalid fast-path override");
+  FastPathOverride.store(Mode, std::memory_order_relaxed);
+}
+
+BlockTrace::BlockTrace(KernelId Kernel, const GenRequest &Req,
+                       const KernelDataLayout &Layout)
+    : K(Kind::ComputeGen), Kernel(Kernel), Req(Req), Layout(Layout),
+      Total(Req.InstCount) {}
+
+BlockTrace::BlockTrace(KernelId Kernel, uint64_t InstCount, uint64_t Seed,
+                       const KernelDataLayout &Layout)
+    : K(Kind::SerialGen), Kernel(Kernel), Layout(Layout), Total(InstCount) {
+  Req.Pu = PuKind::Cpu;
+  Req.InstCount = InstCount;
+  Req.Seed = Seed;
+}
+
+BlockTrace::BlockTrace(PatternBlock Pattern)
+    : K(Kind::Pattern), Pat(std::move(Pattern)), Total(Pat.totalRecords()) {}
+
+const TraceBuffer &BlockTrace::materialized() const {
+  std::call_once(MatOnce, [this] {
+    auto Buffer = std::make_unique<TraceBuffer>();
+    switch (K) {
+    case Kind::ComputeGen:
+      *Buffer = generator().generateCompute(Req, Layout);
+      break;
+    case Kind::SerialGen:
+      *Buffer = generator().generateSerial(Req.InstCount, Layout, Req.Seed);
+      break;
+    case Kind::Pattern:
+      Buffer->reserve(size_t(Total));
+      for (const TraceRecord &R : Pat.Prologue)
+        Buffer->append(R);
+      for (uint64_t Rep = 0; Rep != Pat.BodyRepeats; ++Rep)
+        for (const TraceRecord &R : Pat.Body)
+          Buffer->append(R);
+      for (const TraceRecord &R : Pat.Epilogue)
+        Buffer->append(R);
+      break;
+    }
+    assert(Buffer->size() == Total && "materialization missed the total");
+    Mat = std::move(Buffer);
+  });
+  return *Mat;
+}
+
+BlockExpander::BlockExpander(const BlockTrace &Block)
+    : Block(Block), Remaining(Block.totalRecords()) {
+  switch (Block.kind()) {
+  case BlockTrace::Kind::ComputeGen:
+    Block.generator().beginCompute(S, Block.request(), Block.layout());
+    break;
+  case BlockTrace::Kind::SerialGen:
+    Block.generator().beginSerial(S, Block.layout(), Block.serialSeed());
+    break;
+  case BlockTrace::Kind::Pattern:
+    break;
+  }
+}
+
+uint64_t BlockExpander::next(TraceBuffer &Window, size_t Target) {
+  Window.clear();
+  if (Remaining == 0)
+    return 0;
+  TraceGenScope Timer;
+
+  switch (Block.kind()) {
+  case BlockTrace::Kind::ComputeGen: {
+    uint64_t Emitted = Block.generator().emitCompute(
+        S, Block.request(), Window, Remaining, Target);
+    Remaining -= Emitted;
+    return Emitted;
+  }
+  case BlockTrace::Kind::SerialGen: {
+    uint64_t Emitted =
+        Block.generator().emitSerial(S, Window, Remaining, Target);
+    Remaining -= Emitted;
+    return Emitted;
+  }
+  case BlockTrace::Kind::Pattern: {
+    // Copy contiguous runs out of the logical prologue/body^N/epilogue
+    // stream. Unlike generator windows there is no iteration alignment
+    // to preserve; a plain record count boundary is exact.
+    const PatternBlock &P = Block.pattern();
+    const uint64_t ProEnd = P.Prologue.size();
+    const uint64_t BodyEnd = ProEnd + P.Body.size() * P.BodyRepeats;
+    Window.reserve(size_t(std::min<uint64_t>(Remaining, Target)));
+    uint64_t Emitted = 0;
+    while (Remaining != 0 && Emitted < Target) {
+      const TraceBuffer *Src;
+      uint64_t Offset;
+      uint64_t RunEnd;
+      if (PatPos < ProEnd) {
+        Src = &P.Prologue;
+        Offset = PatPos;
+        RunEnd = ProEnd;
+      } else if (PatPos < BodyEnd) {
+        Src = &P.Body;
+        Offset = (PatPos - ProEnd) % P.Body.size();
+        RunEnd = PatPos + (P.Body.size() - Offset);
+      } else {
+        Src = &P.Epilogue;
+        Offset = PatPos - BodyEnd;
+        RunEnd = BodyEnd + P.Epilogue.size();
+      }
+      uint64_t Run = std::min({RunEnd - PatPos, Remaining,
+                               uint64_t(Target) - Emitted});
+      for (uint64_t I = 0; I != Run; ++I)
+        Window.append((*Src)[size_t(Offset + I)]);
+      PatPos += Run;
+      Remaining -= Run;
+      Emitted += Run;
+    }
+    return Emitted;
+  }
+  }
+  return 0;
+}

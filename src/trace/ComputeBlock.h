@@ -1,0 +1,162 @@
+//===- trace/ComputeBlock.h - Run-length compute trace blocks ---*- C++ -*-===//
+///
+/// \file
+/// Compact (run-length) representations of compute traces. A BlockTrace
+/// describes a record stream by its *recipe* — a (generator, request)
+/// pair, or an explicit prologue/body×N/epilogue pattern — instead of a
+/// materialized vector of millions of TraceRecords. Cores expand blocks a
+/// window at a time (a few thousand records that stay L1-resident), or
+/// retire the periodic part of a Pattern block in closed form when their
+/// pipeline state reaches a per-period fixed point.
+///
+/// Expansion is exact: BlockExpander replays the same generator code over
+/// the same GenState, so the concatenation of all windows is byte-identical
+/// to the single-shot buffer generateCompute/generateSerial would produce.
+/// `HETSIM_FASTPATH=0` (or setFastPathForTesting) disables block-backed
+/// traces entirely and restores the fully materialized reference path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HETSIM_TRACE_COMPUTEBLOCK_H
+#define HETSIM_TRACE_COMPUTEBLOCK_H
+
+#include "trace/KernelTraceGenerator.h"
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+
+namespace hetsim {
+
+/// Returns true when block-backed traces and the cores' run-length fast
+/// path are enabled. Controlled by HETSIM_FASTPATH (default on; "0"
+/// disables) and overridable for differential testing.
+bool fastPathEnabled();
+
+/// Test hook: forces the fast path on (1), off (0), or back to the
+/// environment setting (-1). Not thread-safe against concurrent runs;
+/// intended for use between simulations in a single-threaded test.
+void setFastPathForTesting(int Mode);
+
+/// Number of records an expansion window aims for. Small enough that the
+/// reusable window buffer (~96KB) stays cache-resident while a core
+/// consumes it, large enough to amortize per-window bookkeeping.
+constexpr size_t ComputeWindowRecords = 4096;
+
+/// Process-wide CPU nanoseconds spent producing trace records (single-shot
+/// generation and window expansion alike), summed across threads. The
+/// sweep telemetry diffs this around a sweep to split wall time into
+/// trace-gen vs simulate phases.
+uint64_t traceGenNanos();
+void addTraceGenNanos(uint64_t Nanos);
+
+/// RAII accumulator for traceGenNanos().
+class TraceGenScope {
+public:
+  TraceGenScope() : Start(std::chrono::steady_clock::now()) {}
+  ~TraceGenScope() {
+    addTraceGenNanos(uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                  std::chrono::steady_clock::now() - Start)
+                                  .count()));
+  }
+  TraceGenScope(const TraceGenScope &) = delete;
+  TraceGenScope &operator=(const TraceGenScope &) = delete;
+
+private:
+  std::chrono::steady_clock::time_point Start;
+};
+
+/// An explicit periodic trace: Prologue, then Body repeated BodyRepeats
+/// times, then Epilogue. The natural shape for steady-state loop traces
+/// whose per-iteration record sequence is literally identical (no RNG, no
+/// address drift) — the cores' closed-form fold targets the Body.
+struct PatternBlock {
+  TraceBuffer Prologue;
+  TraceBuffer Body;
+  TraceBuffer Epilogue;
+  uint64_t BodyRepeats = 0;
+
+  uint64_t totalRecords() const {
+    return Prologue.size() + Body.size() * BodyRepeats + Epilogue.size();
+  }
+};
+
+/// A run-length trace handle: the recipe for a record stream plus a lazy
+/// fully-materialized form for consumers that need random access (the
+/// interleaved-contention path, tests, trace dumps).
+class BlockTrace {
+public:
+  enum class Kind : uint8_t {
+    ComputeGen, ///< generateCompute(Req, Layout) of one kernel.
+    SerialGen,  ///< generateSerial(InstCount, Layout, Seed).
+    Pattern,    ///< Explicit PatternBlock.
+  };
+
+  /// A compute segment: the stream generateCompute(\p Req, \p Layout)
+  /// would produce for \p Kernel.
+  BlockTrace(KernelId Kernel, const GenRequest &Req,
+             const KernelDataLayout &Layout);
+
+  /// A serial segment: generateSerial(\p InstCount, \p Layout, \p Seed).
+  BlockTrace(KernelId Kernel, uint64_t InstCount, uint64_t Seed,
+             const KernelDataLayout &Layout);
+
+  /// An explicit pattern.
+  explicit BlockTrace(PatternBlock Pattern);
+
+  Kind kind() const { return K; }
+  uint64_t totalRecords() const { return Total; }
+
+  /// Valid only for Kind::Pattern.
+  const PatternBlock &pattern() const { return Pat; }
+
+  /// Valid only for ComputeGen/SerialGen.
+  const KernelTraceGenerator &generator() const {
+    return KernelTraceGenerator::forKernel(Kernel);
+  }
+  const GenRequest &request() const { return Req; }
+  const KernelDataLayout &layout() const { return Layout; }
+  uint64_t serialSeed() const { return Req.Seed; }
+
+  /// The full record stream, materialized once on first use (thread-safe)
+  /// and cached for the lifetime of the block.
+  const TraceBuffer &materialized() const;
+
+private:
+  Kind K;
+  KernelId Kernel = KernelId::Reduction;
+  GenRequest Req;           ///< SerialGen reuses InstCount/Seed fields.
+  KernelDataLayout Layout;  ///< Empty for Pattern blocks.
+  PatternBlock Pat;         ///< Empty for generator blocks.
+  uint64_t Total = 0;
+
+  mutable std::once_flag MatOnce;
+  mutable std::unique_ptr<TraceBuffer> Mat;
+};
+
+/// Streams a BlockTrace into caller-owned windows. The window boundary
+/// falls between generator iterations (except when the total budget ends
+/// mid-iteration, exactly as single-shot generation would), so the
+/// concatenation of windows equals the materialized stream record for
+/// record.
+class BlockExpander {
+public:
+  explicit BlockExpander(const BlockTrace &Block);
+
+  bool done() const { return Remaining == 0; }
+  uint64_t remaining() const { return Remaining; }
+
+  /// Clears \p Window and fills it with the next ~\p Target records.
+  /// Returns the number of records produced (0 only when done()).
+  uint64_t next(TraceBuffer &Window, size_t Target = ComputeWindowRecords);
+
+private:
+  const BlockTrace &Block;
+  GenState S;
+  uint64_t Remaining = 0;
+  uint64_t PatPos = 0; ///< Pattern: global index into the logical stream.
+};
+
+} // namespace hetsim
+
+#endif // HETSIM_TRACE_COMPUTEBLOCK_H

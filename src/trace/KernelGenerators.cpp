@@ -7,6 +7,10 @@
 /// compute pattern: register dependences create realistic ILP chains and
 /// address streams create each kernel's locality behaviour.
 ///
+/// Bodies read and advance only the caller's GenState (cursor slots, RNG,
+/// iteration counter), so an expansion can pause between iterations and
+/// resume bit-exactly — the windowed fast path depends on this.
+///
 //===----------------------------------------------------------------------===//
 
 #include "trace/KernelTraceGenerator.h"
@@ -21,19 +25,20 @@ static uint8_t rotReg(uint64_t I) { return uint8_t(8 + (I % 24)); }
 //===----------------------------------------------------------------------===//
 // Reduction: c[i] = a[i] + b[i] plus a running partial sum. Pure streaming:
 // two input streams, one output stream, a loop-carried accumulator chain.
+// Cursor slots: 0 = a, 1 = b, 2 = c.
 //===----------------------------------------------------------------------===//
 
-void ReductionGenerator::setUpCursors(const KernelDataLayout &L,
-                                      WorkSplit S) const {
-  A = cursorFor(L.segment("a"), S);
-  B = cursorFor(L.segment("b"), S);
-  C = cursorFor(L.segment("c"), S);
+void ReductionGenerator::setUpCursors(GenState &S, const KernelDataLayout &L,
+                                      WorkSplit Split) const {
+  S.Cur[0] = cursorFor(L.segment("a"), Split);
+  S.Cur[1] = cursorFor(L.segment("b"), Split);
+  S.Cur[2] = cursorFor(L.segment("c"), Split);
 }
 
-void ReductionGenerator::cpuIteration(TraceEmitter &E, XorShiftRng &,
-                                      uint64_t I) const {
+void ReductionGenerator::cpuIteration(TraceEmitter &E, GenState &S) const {
   const uint32_t Pc = pcBase();
-  uint8_t V = rotReg(I);
+  StreamCursor &A = S.Cur[0], &B = S.Cur[1], &C = S.Cur[2];
+  uint8_t V = rotReg(S.Iter);
   E.load(Pc + 0, V, A.advance(4), 4);
   E.load(Pc + 4, uint8_t(V + 1), B.advance(4), 4);
   E.alu(Opcode::FpAlu, Pc + 8, uint8_t(V + 2), V, uint8_t(V + 1));
@@ -43,10 +48,10 @@ void ReductionGenerator::cpuIteration(TraceEmitter &E, XorShiftRng &,
   E.branch(Pc + 20, /*Taken=*/true, 0);
 }
 
-void ReductionGenerator::gpuIteration(TraceEmitter &E, XorShiftRng &,
-                                      uint64_t I) const {
+void ReductionGenerator::gpuIteration(TraceEmitter &E, GenState &S) const {
   const uint32_t Pc = pcBase() + 0x1000;
-  uint8_t V = rotReg(I);
+  StreamCursor &A = S.Cur[0], &B = S.Cur[1], &C = S.Cur[2];
+  uint8_t V = rotReg(S.Iter);
   E.simdLoad(Pc + 0, V, A.advance(32), 4, 8, 4);
   E.simdLoad(Pc + 4, uint8_t(V + 1), B.advance(32), 4, 8, 4);
   E.alu(Opcode::FpAlu, Pc + 8, uint8_t(V + 2), V, uint8_t(V + 1));
@@ -59,46 +64,47 @@ void ReductionGenerator::gpuIteration(TraceEmitter &E, XorShiftRng &,
 // Matrix multiply: inner-product loop. A streams sequentially, B is strided
 // by a 256-float row (1KB), C is written once per 8 multiply-accumulates.
 // High reuse: the B working set cycles and stays cache-resident per block.
+// Cursor slots: 0 = A, 1 = B, 2 = C.
 //===----------------------------------------------------------------------===//
 
 namespace {
 constexpr uint64_t MatRowBytes = 1024; // 256 floats per row.
 } // namespace
 
-void MatrixMulGenerator::setUpCursors(const KernelDataLayout &L,
-                                      WorkSplit S) const {
-  MatA = cursorFor(L.segment("A"), S);
-  MatB = cursorFor(L.segment("B"), WorkSplit::FullRange);
-  MatC = cursorFor(L.segment("C"), S);
+void MatrixMulGenerator::setUpCursors(GenState &S, const KernelDataLayout &L,
+                                      WorkSplit Split) const {
+  S.Cur[0] = cursorFor(L.segment("A"), Split);
+  S.Cur[1] = cursorFor(L.segment("B"), WorkSplit::FullRange);
+  S.Cur[2] = cursorFor(L.segment("C"), Split);
 }
 
-void MatrixMulGenerator::cpuIteration(TraceEmitter &E, XorShiftRng &,
-                                      uint64_t I) const {
+void MatrixMulGenerator::cpuIteration(TraceEmitter &E, GenState &S) const {
   const uint32_t Pc = pcBase();
-  uint8_t V = rotReg(I);
+  StreamCursor &MatA = S.Cur[0], &MatB = S.Cur[1], &MatC = S.Cur[2];
+  uint8_t V = rotReg(S.Iter);
   E.load(Pc + 0, V, MatA.advance(4), 4);
   E.load(Pc + 4, uint8_t(V + 1), MatB.advance(MatRowBytes), 4);
   E.alu(Opcode::FpMac, Pc + 8, 7, V, uint8_t(V + 1));
-  if (I % 8 == 7) {
+  if (S.Iter % 8 == 7) {
     E.store(Pc + 12, 7, MatC.advance(4), 4);
     E.alu(Opcode::IntAlu, Pc + 16, 0, 0);
     E.branch(Pc + 20, /*Taken=*/true, 0);
   }
 }
 
-void MatrixMulGenerator::gpuIteration(TraceEmitter &E, XorShiftRng &,
-                                      uint64_t I) const {
+void MatrixMulGenerator::gpuIteration(TraceEmitter &E, GenState &S) const {
   // Fermi-style tile: global loads staged through the software-managed
   // cache (16KB, Table II), then MACs read from the scratchpad.
   const uint32_t Pc = pcBase() + 0x1000;
-  uint8_t V = rotReg(I);
-  Addr SmemOff = (I * 32) % (16 * 1024);
+  StreamCursor &MatA = S.Cur[0], &MatB = S.Cur[1], &MatC = S.Cur[2];
+  uint8_t V = rotReg(S.Iter);
+  Addr SmemOff = (S.Iter * 32) % (16 * 1024);
   E.simdLoad(Pc + 0, V, MatA.advance(32), 4, 8, 4);
   E.smem(/*IsStore=*/true, Pc + 4, V, SmemOff, 4);
   E.simdLoad(Pc + 8, uint8_t(V + 1), MatB.advance(MatRowBytes), 4, 8, 4);
   E.smem(/*IsStore=*/false, Pc + 12, uint8_t(V + 2), SmemOff, 4);
   E.alu(Opcode::FpMac, Pc + 16, 7, uint8_t(V + 1), uint8_t(V + 2));
-  if (I % 8 == 7) {
+  if (S.Iter % 8 == 7) {
     E.simdStore(Pc + 20, 7, MatC.advance(32), 4, 8, 4);
     E.branch(Pc + 24, /*Taken=*/true, 0);
   }
@@ -107,20 +113,20 @@ void MatrixMulGenerator::gpuIteration(TraceEmitter &E, XorShiftRng &,
 //===----------------------------------------------------------------------===//
 // Convolution: sliding window. Overlapping image loads (high spatial
 // locality), a small filter table that stays resident, one store per tap
-// group.
+// group. Cursor slots: 0 = image, 1 = filter, 2 = out.
 //===----------------------------------------------------------------------===//
 
-void ConvolutionGenerator::setUpCursors(const KernelDataLayout &L,
-                                        WorkSplit S) const {
-  Image = cursorFor(L.segment("image"), S);
-  Filter = cursorFor(L.segment("filter"), WorkSplit::FullRange);
-  Out = cursorFor(L.segment("out"), S);
+void ConvolutionGenerator::setUpCursors(GenState &S, const KernelDataLayout &L,
+                                        WorkSplit Split) const {
+  S.Cur[0] = cursorFor(L.segment("image"), Split);
+  S.Cur[1] = cursorFor(L.segment("filter"), WorkSplit::FullRange);
+  S.Cur[2] = cursorFor(L.segment("out"), Split);
 }
 
-void ConvolutionGenerator::cpuIteration(TraceEmitter &E, XorShiftRng &,
-                                        uint64_t I) const {
+void ConvolutionGenerator::cpuIteration(TraceEmitter &E, GenState &S) const {
   const uint32_t Pc = pcBase();
-  uint8_t V = rotReg(I);
+  StreamCursor &Image = S.Cur[0], &Filter = S.Cur[1], &Out = S.Cur[2];
+  uint8_t V = rotReg(S.Iter);
   Addr Window = Image.advance(4);
   E.load(Pc + 0, V, Window, 4);
   E.load(Pc + 4, uint8_t(V + 1), Window + 4, 4);
@@ -133,10 +139,10 @@ void ConvolutionGenerator::cpuIteration(TraceEmitter &E, XorShiftRng &,
   E.branch(Pc + 28, /*Taken=*/true, 0);
 }
 
-void ConvolutionGenerator::gpuIteration(TraceEmitter &E, XorShiftRng &,
-                                        uint64_t I) const {
+void ConvolutionGenerator::gpuIteration(TraceEmitter &E, GenState &S) const {
   const uint32_t Pc = pcBase() + 0x1000;
-  uint8_t V = rotReg(I);
+  StreamCursor &Image = S.Cur[0], &Filter = S.Cur[1], &Out = S.Cur[2];
+  uint8_t V = rotReg(S.Iter);
   Addr Window = Image.advance(32);
   E.simdLoad(Pc + 0, V, Window, 4, 8, 4);
   E.simdLoad(Pc + 4, uint8_t(V + 1), Window + 4, 4, 8, 4);
@@ -152,18 +158,19 @@ void ConvolutionGenerator::gpuIteration(TraceEmitter &E, XorShiftRng &,
 //===----------------------------------------------------------------------===//
 // DCT: 8-point butterfly per iteration. ALU-heavy (the paper's dct has the
 // largest Comp line count), in-place blocks object, coefficient output.
+// Cursor slots: 0 = blocks, 1 = coeffs.
 //===----------------------------------------------------------------------===//
 
-void DctGenerator::setUpCursors(const KernelDataLayout &L,
-                                WorkSplit S) const {
-  Blocks = cursorFor(L.segment("blocks"), S);
-  Coeffs = cursorFor(L.segment("coeffs"), S);
+void DctGenerator::setUpCursors(GenState &S, const KernelDataLayout &L,
+                                WorkSplit Split) const {
+  S.Cur[0] = cursorFor(L.segment("blocks"), Split);
+  S.Cur[1] = cursorFor(L.segment("coeffs"), Split);
 }
 
-void DctGenerator::cpuIteration(TraceEmitter &E, XorShiftRng &,
-                                uint64_t I) const {
+void DctGenerator::cpuIteration(TraceEmitter &E, GenState &S) const {
   const uint32_t Pc = pcBase();
-  uint8_t V = rotReg(I * 4);
+  StreamCursor &Blocks = S.Cur[0], &Coeffs = S.Cur[1];
+  uint8_t V = rotReg(S.Iter * 4);
   Addr Row = Blocks.advance(32);
   E.load(Pc + 0, V, Row, 4);
   E.load(Pc + 4, uint8_t(V + 1), Row + 16, 4);
@@ -178,12 +185,12 @@ void DctGenerator::cpuIteration(TraceEmitter &E, XorShiftRng &,
   E.branch(Pc + 40, /*Taken=*/true, 0);
 }
 
-void DctGenerator::gpuIteration(TraceEmitter &E, XorShiftRng &,
-                                uint64_t I) const {
+void DctGenerator::gpuIteration(TraceEmitter &E, GenState &S) const {
   const uint32_t Pc = pcBase() + 0x1000;
-  uint8_t V = rotReg(I * 4);
+  StreamCursor &Blocks = S.Cur[0], &Coeffs = S.Cur[1];
+  uint8_t V = rotReg(S.Iter * 4);
   Addr Row = Blocks.advance(32);
-  Addr SmemOff = (I * 32) % (16 * 1024);
+  Addr SmemOff = (S.Iter * 32) % (16 * 1024);
   E.simdLoad(Pc + 0, V, Row, 4, 8, 4);
   E.smem(/*IsStore=*/true, Pc + 4, V, SmemOff, 4);
   E.smem(/*IsStore=*/false, Pc + 8, uint8_t(V + 1), SmemOff, 4);
@@ -200,34 +207,35 @@ void DctGenerator::gpuIteration(TraceEmitter &E, XorShiftRng &,
 // Merge sort: two run cursors, one data-dependent compare branch per
 // element (about 50% taken: hard to predict, the paper's merge sort has
 // high communication AND branchy behaviour), one output store.
+// Cursor slots: 0 = keys, 1 = sorted.
 //===----------------------------------------------------------------------===//
 
-void MergeSortGenerator::setUpCursors(const KernelDataLayout &L,
-                                      WorkSplit S) const {
-  Keys = cursorFor(L.segment("keys"), S);
-  Sorted = cursorFor(L.segment("sorted"), S);
+void MergeSortGenerator::setUpCursors(GenState &S, const KernelDataLayout &L,
+                                      WorkSplit Split) const {
+  S.Cur[0] = cursorFor(L.segment("keys"), Split);
+  S.Cur[1] = cursorFor(L.segment("sorted"), Split);
 }
 
-void MergeSortGenerator::cpuIteration(TraceEmitter &E, XorShiftRng &Rng,
-                                      uint64_t I) const {
+void MergeSortGenerator::cpuIteration(TraceEmitter &E, GenState &S) const {
   const uint32_t Pc = pcBase();
-  uint8_t V = rotReg(I);
+  StreamCursor &Keys = S.Cur[0], &Sorted = S.Cur[1];
+  uint8_t V = rotReg(S.Iter);
   Addr Left = Keys.advance(4);
   uint64_t HalfRun = Keys.Bytes / 2;
   Addr Right = Keys.Base + (Left - Keys.Base + HalfRun) % Keys.Bytes;
   E.load(Pc + 0, V, Left, 4);
   E.load(Pc + 4, uint8_t(V + 1), Right, 4);
   E.alu(Opcode::IntAlu, Pc + 8, uint8_t(V + 2), V, uint8_t(V + 1));
-  E.branch(Pc + 12, Rng.nextBool(0.5), uint8_t(V + 2));
+  E.branch(Pc + 12, S.Rng.nextBool(0.5), uint8_t(V + 2));
   E.store(Pc + 16, uint8_t(V + 2), Sorted.advance(4), 4);
   E.alu(Opcode::IntAlu, Pc + 20, 0, 0);
   E.branch(Pc + 24, /*Taken=*/true, 0);
 }
 
-void MergeSortGenerator::gpuIteration(TraceEmitter &E, XorShiftRng &Rng,
-                                      uint64_t I) const {
+void MergeSortGenerator::gpuIteration(TraceEmitter &E, GenState &S) const {
   const uint32_t Pc = pcBase() + 0x1000;
-  uint8_t V = rotReg(I);
+  StreamCursor &Keys = S.Cur[0], &Sorted = S.Cur[1];
+  uint8_t V = rotReg(S.Iter);
   Addr Left = Keys.advance(32);
   uint64_t HalfRun = Keys.Bytes / 2;
   Addr Right = Keys.Base + (Left - Keys.Base + HalfRun) % Keys.Bytes;
@@ -236,7 +244,7 @@ void MergeSortGenerator::gpuIteration(TraceEmitter &E, XorShiftRng &Rng,
   E.alu(Opcode::IntAlu, Pc + 8, uint8_t(V + 2), V, uint8_t(V + 1));
   // The GPU stalls on every branch (Table II: no predictor); divergent
   // compare branches are the expensive part of GPU merge sort.
-  E.branch(Pc + 12, Rng.nextBool(0.5), uint8_t(V + 2));
+  E.branch(Pc + 12, S.Rng.nextBool(0.5), uint8_t(V + 2));
   E.simdStore(Pc + 16, uint8_t(V + 2), Sorted.advance(32), 4, 8, 4);
   E.alu(Opcode::IntAlu, Pc + 20, 0, 0);
   E.branch(Pc + 24, /*Taken=*/true, 0);
@@ -246,18 +254,19 @@ void MergeSortGenerator::gpuIteration(TraceEmitter &E, XorShiftRng &Rng,
 // K-means: per point, distance to a hot centroid table (cache-resident),
 // argmin with a mildly data-dependent branch, assignment store. Repeated
 // passes model the outer iteration (3 rounds in the paper's run).
+// Cursor slots: 0 = points, 1 = centroids.
 //===----------------------------------------------------------------------===//
 
-void KMeansGenerator::setUpCursors(const KernelDataLayout &L,
-                                   WorkSplit S) const {
-  Points = cursorFor(L.segment("points"), S);
-  Centroids = cursorFor(L.segment("centroids"), WorkSplit::FullRange);
+void KMeansGenerator::setUpCursors(GenState &S, const KernelDataLayout &L,
+                                   WorkSplit Split) const {
+  S.Cur[0] = cursorFor(L.segment("points"), Split);
+  S.Cur[1] = cursorFor(L.segment("centroids"), WorkSplit::FullRange);
 }
 
-void KMeansGenerator::cpuIteration(TraceEmitter &E, XorShiftRng &Rng,
-                                   uint64_t I) const {
+void KMeansGenerator::cpuIteration(TraceEmitter &E, GenState &S) const {
   const uint32_t Pc = pcBase();
-  uint8_t V = rotReg(I * 2);
+  StreamCursor &Points = S.Cur[0], &Centroids = S.Cur[1];
+  uint8_t V = rotReg(S.Iter * 2);
   Addr Point = Points.advance(8);
   E.load(Pc + 0, V, Point, 8);
   // Distances to 4 centroids; the table is tiny and stays in L1.
@@ -267,16 +276,16 @@ void KMeansGenerator::cpuIteration(TraceEmitter &E, XorShiftRng &Rng,
     E.alu(Opcode::FpMac, Pc + 12 + 12 * K, uint8_t(V + 3), uint8_t(V + 2),
           uint8_t(V + 2));
   }
-  E.branch(Pc + 52, Rng.nextBool(0.75), uint8_t(V + 3));
+  E.branch(Pc + 52, S.Rng.nextBool(0.75), uint8_t(V + 3));
   E.store(Pc + 56, uint8_t(V + 3), Point, 4);
   E.alu(Opcode::IntAlu, Pc + 60, 0, 0);
   E.branch(Pc + 64, /*Taken=*/true, 0);
 }
 
-void KMeansGenerator::gpuIteration(TraceEmitter &E, XorShiftRng &Rng,
-                                   uint64_t I) const {
+void KMeansGenerator::gpuIteration(TraceEmitter &E, GenState &S) const {
   const uint32_t Pc = pcBase() + 0x1000;
-  uint8_t V = rotReg(I * 2);
+  StreamCursor &Points = S.Cur[0], &Centroids = S.Cur[1];
+  uint8_t V = rotReg(S.Iter * 2);
   Addr Point = Points.advance(64);
   E.simdLoad(Pc + 0, V, Point, 8, 8, 8);
   for (unsigned K = 0; K != 4; ++K) {
@@ -285,7 +294,7 @@ void KMeansGenerator::gpuIteration(TraceEmitter &E, XorShiftRng &Rng,
     E.alu(Opcode::FpMac, Pc + 12 + 12 * K, uint8_t(V + 3), uint8_t(V + 2),
           uint8_t(V + 2));
   }
-  E.branch(Pc + 52, Rng.nextBool(0.75), uint8_t(V + 3));
+  E.branch(Pc + 52, S.Rng.nextBool(0.75), uint8_t(V + 3));
   E.simdStore(Pc + 56, uint8_t(V + 3), Point, 4, 8, 8);
   E.alu(Opcode::IntAlu, Pc + 60, 0, 0);
   E.branch(Pc + 64, /*Taken=*/true, 0);

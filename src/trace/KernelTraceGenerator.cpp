@@ -3,6 +3,7 @@
 #include "trace/KernelTraceGenerator.h"
 
 #include "common/Error.h"
+#include "trace/ComputeBlock.h"
 
 #include <cassert>
 
@@ -35,64 +36,101 @@ StreamCursor KernelTraceGenerator::cursorFor(const DataSegment &Segment,
   return Cursor;
 }
 
+void KernelTraceGenerator::beginCompute(GenState &S, const GenRequest &Req,
+                                        const KernelDataLayout &Layout) const {
+  S = GenState();
+  setUpCursors(S, Layout, Req.Split);
+  S.Rng = XorShiftRng(Req.Seed * 2654435761u + static_cast<uint64_t>(Req.Pu));
+  S.Iter = 0;
+}
+
+uint64_t KernelTraceGenerator::emitCompute(GenState &S, const GenRequest &Req,
+                                           TraceBuffer &Window,
+                                           uint64_t Budget,
+                                           size_t WindowTarget) const {
+  const size_t Before = Window.size();
+  TraceEmitter Emitter(Window, Budget, WindowTarget + 64);
+  if (Req.Pu == PuKind::Cpu) {
+    while (!Emitter.done() && Window.size() - Before < WindowTarget) {
+      cpuIteration(Emitter, S);
+      ++S.Iter;
+    }
+  } else {
+    while (!Emitter.done() && Window.size() - Before < WindowTarget) {
+      gpuIteration(Emitter, S);
+      ++S.Iter;
+    }
+  }
+  return Window.size() - Before;
+}
+
 TraceBuffer
 KernelTraceGenerator::generateCompute(const GenRequest &Req,
                                       const KernelDataLayout &Layout) const {
   TraceBuffer Buffer;
   if (Req.InstCount == 0)
     return Buffer;
-  setUpCursors(Layout, Req.Split);
-  TraceEmitter Emitter(Buffer, Req.InstCount);
-  XorShiftRng Rng(Req.Seed * 2654435761u + static_cast<uint64_t>(Req.Pu));
-  uint64_t Iter = 0;
-  if (Req.Pu == PuKind::Cpu) {
-    while (!Emitter.done())
-      cpuIteration(Emitter, Rng, Iter++);
-  } else {
-    while (!Emitter.done())
-      gpuIteration(Emitter, Rng, Iter++);
-  }
+  TraceGenScope Timer;
+  GenState S;
+  beginCompute(S, Req, Layout);
+  emitCompute(S, Req, Buffer, Req.InstCount, size_t(Req.InstCount));
   assert(Buffer.size() == Req.InstCount && "generator missed its budget");
   return Buffer;
 }
 
-TraceBuffer
-KernelTraceGenerator::generateSerial(uint64_t InstCount,
-                                     const KernelDataLayout &Layout,
-                                     uint64_t Seed) const {
-  // The sequential portion is a CPU-only merge/finalize pass over the
-  // kernel's output object: load partial results, combine, occasionally
-  // store, loop. One iteration is 8 instructions.
-  TraceBuffer Buffer;
-  if (InstCount == 0)
-    return Buffer;
+void KernelTraceGenerator::beginSerial(GenState &S,
+                                       const KernelDataLayout &Layout,
+                                       uint64_t Seed) const {
+  S = GenState();
   const std::vector<DataSegment> &Segments = Layout.segments();
   assert(!Segments.empty() && "layout has no segments");
   const DataSegment *Output = &Segments.back();
-  for (const DataSegment &S : Segments)
-    if (S.Dir == TransferDir::DeviceToHost)
-      Output = &S;
+  for (const DataSegment &Segment : Segments)
+    if (Segment.Dir == TransferDir::DeviceToHost)
+      Output = &Segment;
+  S.Cur[0] = cursorFor(*Output, WorkSplit::FullRange);
+  S.Rng = XorShiftRng(Seed * 0x9E3779B9u + 7);
+}
 
-  StreamCursor Out = cursorFor(*Output, WorkSplit::FullRange);
-  TraceEmitter E(Buffer, InstCount);
-  XorShiftRng Rng(Seed * 0x9E3779B9u + 7);
+uint64_t KernelTraceGenerator::emitSerial(GenState &S, TraceBuffer &Window,
+                                          uint64_t Budget,
+                                          size_t WindowTarget) const {
+  // The sequential portion is a CPU-only merge/finalize pass over the
+  // kernel's output object: load partial results, combine, occasionally
+  // store, loop. One iteration is 8 instructions.
+  const size_t Before = Window.size();
+  TraceEmitter E(Window, Budget, WindowTarget + 16);
+  StreamCursor &Out = S.Cur[0];
   const uint32_t Pc = pcBase() + 0x8000;
-  uint64_t Iter = 0;
-  while (!E.done()) {
+  while (!E.done() && Window.size() - Before < WindowTarget) {
     Addr Address = Out.advance(4);
     E.load(Pc + 0, 8, Address, 4);
     E.alu(Opcode::FpAlu, Pc + 4, 9, 8, 10);
     E.alu(Opcode::IntAlu, Pc + 8, 10, 9);
     E.alu(Opcode::FpAlu, Pc + 12, 11, 10, 9);
-    if (Iter % 4 == 3)
+    if (S.Iter % 4 == 3)
       E.store(Pc + 16, 11, Address, 4);
     else
       E.alu(Opcode::IntAlu, Pc + 16, 12, 11);
     E.alu(Opcode::IntAlu, Pc + 20, 0, 0);
     E.alu(Opcode::IntAlu, Pc + 24, 13, 12, 11);
     E.branch(Pc + 28, /*Taken=*/true, 0);
-    ++Iter;
+    ++S.Iter;
   }
+  return Window.size() - Before;
+}
+
+TraceBuffer
+KernelTraceGenerator::generateSerial(uint64_t InstCount,
+                                     const KernelDataLayout &Layout,
+                                     uint64_t Seed) const {
+  TraceBuffer Buffer;
+  if (InstCount == 0)
+    return Buffer;
+  TraceGenScope Timer;
+  GenState S;
+  beginSerial(S, Layout, Seed);
+  emitSerial(S, Buffer, InstCount, size_t(InstCount));
   assert(Buffer.size() == InstCount && "serial generator missed its budget");
   return Buffer;
 }

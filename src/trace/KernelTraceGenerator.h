@@ -18,6 +18,8 @@
 #include "trace/DataLayout.h"
 #include "trace/TraceBuffer.h"
 
+#include <array>
+
 namespace hetsim {
 
 /// How a PU's compute segment divides a kernel's data range. The paper
@@ -43,8 +45,15 @@ struct GenRequest {
 class TraceEmitter {
 public:
   TraceEmitter(TraceBuffer &Out, uint64_t Budget)
+      : TraceEmitter(Out, Budget, size_t(Budget)) {}
+
+  /// \p ReserveHint caps the up-front reservation: windowed expansion
+  /// passes the window size so a small reusable buffer is never grown to
+  /// the full remaining budget.
+  TraceEmitter(TraceBuffer &Out, uint64_t Budget, size_t ReserveHint)
       : Buffer(Out), Remaining(Budget) {
-    Out.reserve(Out.size() + Budget);
+    Out.reserve(Out.size() +
+                size_t(Budget < ReserveHint ? Budget : ReserveHint));
   }
 
   bool done() const { return Remaining == 0; }
@@ -128,6 +137,17 @@ struct StreamCursor {
   Addr current() const { return Base + Pos; }
 };
 
+/// Explicit expansion state for one trace generation: the data cursors,
+/// the RNG, and the iteration counter. Generators themselves are
+/// stateless; every mutation lands in a caller-owned GenState, so an
+/// expansion can be suspended at any window boundary and resumed
+/// bit-exactly, and two threads can expand the same kernel concurrently.
+struct GenState {
+  std::array<StreamCursor, 3> Cur; ///< Kernel-defined cursor slots.
+  XorShiftRng Rng{1};
+  uint64_t Iter = 0;
+};
+
 /// Base class for the six kernel generators.
 class KernelTraceGenerator {
 public:
@@ -137,14 +157,35 @@ public:
   virtual KernelId kernel() const = 0;
 
   /// Produces exactly Req.InstCount records of compute for Req.Pu.
-  virtual TraceBuffer generateCompute(const GenRequest &Req,
-                                      const KernelDataLayout &Layout) const;
+  TraceBuffer generateCompute(const GenRequest &Req,
+                              const KernelDataLayout &Layout) const;
 
   /// Produces exactly \p InstCount records for the sequential (CPU-only)
   /// portion: a merge/finalize pass over the kernel's output object.
-  virtual TraceBuffer generateSerial(uint64_t InstCount,
-                                     const KernelDataLayout &Layout,
-                                     uint64_t Seed = 1) const;
+  TraceBuffer generateSerial(uint64_t InstCount,
+                             const KernelDataLayout &Layout,
+                             uint64_t Seed = 1) const;
+
+  /// Seeds \p S for an incremental compute expansion of \p Req. Combined
+  /// with emitCompute this produces the same record stream as
+  /// generateCompute, one window at a time.
+  void beginCompute(GenState &S, const GenRequest &Req,
+                    const KernelDataLayout &Layout) const;
+
+  /// Emits the next window of an expansion started by beginCompute: whole
+  /// iterations until \p Window grew by at least \p WindowTarget records
+  /// or \p Budget (the remaining total) is exhausted. The final iteration
+  /// may stop mid-body when the budget runs out — exactly like single-
+  /// shot generation. Returns the number of records emitted.
+  uint64_t emitCompute(GenState &S, const GenRequest &Req,
+                       TraceBuffer &Window, uint64_t Budget,
+                       size_t WindowTarget) const;
+
+  /// Incremental equivalents of generateSerial.
+  void beginSerial(GenState &S, const KernelDataLayout &Layout,
+                   uint64_t Seed) const;
+  uint64_t emitSerial(GenState &S, TraceBuffer &Window, uint64_t Budget,
+                      size_t WindowTarget) const;
 
   /// Returns the generator for \p Id (static lifetime).
   static const KernelTraceGenerator &forKernel(KernelId Id);
@@ -156,18 +197,17 @@ public:
   static StreamCursor cursorFor(const DataSegment &Segment, WorkSplit Split);
 
 protected:
-  /// Emits one CPU loop iteration. Implementations must emit at least one
-  /// record per call while budget remains.
-  virtual void cpuIteration(TraceEmitter &E, XorShiftRng &Rng,
-                            uint64_t Iter) const = 0;
+  /// Emits one CPU loop iteration reading/advancing \p S. Implementations
+  /// must emit at least one record per call while budget remains; the
+  /// caller bumps S.Iter after each iteration.
+  virtual void cpuIteration(TraceEmitter &E, GenState &S) const = 0;
 
   /// Emits one GPU (warp-granularity) loop iteration.
-  virtual void gpuIteration(TraceEmitter &E, XorShiftRng &Rng,
-                            uint64_t Iter) const = 0;
+  virtual void gpuIteration(TraceEmitter &E, GenState &S) const = 0;
 
   /// Called before iteration loops so subclasses can set up cursors over
-  /// the placed data objects.
-  virtual void setUpCursors(const KernelDataLayout &Layout,
+  /// the placed data objects in S.Cur.
+  virtual void setUpCursors(GenState &S, const KernelDataLayout &Layout,
                             WorkSplit Split) const = 0;
 
   /// The PC region for this kernel's code (distinct per kernel so branch
@@ -177,19 +217,17 @@ protected:
   }
 };
 
-/// Declarations of the six concrete generators. Cursor state is mutable
-/// because generateCompute is logically const (same inputs, same trace).
+/// Declarations of the six concrete generators. Cursor-slot conventions
+/// are private to each kernel's setUpCursors/iteration pair.
 class ReductionGenerator final : public KernelTraceGenerator {
 public:
   KernelId kernel() const override { return KernelId::Reduction; }
 
 protected:
-  void setUpCursors(const KernelDataLayout &L, WorkSplit S) const override;
-  void cpuIteration(TraceEmitter &E, XorShiftRng &R, uint64_t I) const override;
-  void gpuIteration(TraceEmitter &E, XorShiftRng &R, uint64_t I) const override;
-
-private:
-  mutable StreamCursor A, B, C;
+  void setUpCursors(GenState &S, const KernelDataLayout &L,
+                    WorkSplit Split) const override;
+  void cpuIteration(TraceEmitter &E, GenState &S) const override;
+  void gpuIteration(TraceEmitter &E, GenState &S) const override;
 };
 
 class MatrixMulGenerator final : public KernelTraceGenerator {
@@ -197,12 +235,10 @@ public:
   KernelId kernel() const override { return KernelId::MatrixMul; }
 
 protected:
-  void setUpCursors(const KernelDataLayout &L, WorkSplit S) const override;
-  void cpuIteration(TraceEmitter &E, XorShiftRng &R, uint64_t I) const override;
-  void gpuIteration(TraceEmitter &E, XorShiftRng &R, uint64_t I) const override;
-
-private:
-  mutable StreamCursor MatA, MatB, MatC;
+  void setUpCursors(GenState &S, const KernelDataLayout &L,
+                    WorkSplit Split) const override;
+  void cpuIteration(TraceEmitter &E, GenState &S) const override;
+  void gpuIteration(TraceEmitter &E, GenState &S) const override;
 };
 
 class ConvolutionGenerator final : public KernelTraceGenerator {
@@ -210,12 +246,10 @@ public:
   KernelId kernel() const override { return KernelId::Convolution; }
 
 protected:
-  void setUpCursors(const KernelDataLayout &L, WorkSplit S) const override;
-  void cpuIteration(TraceEmitter &E, XorShiftRng &R, uint64_t I) const override;
-  void gpuIteration(TraceEmitter &E, XorShiftRng &R, uint64_t I) const override;
-
-private:
-  mutable StreamCursor Image, Filter, Out;
+  void setUpCursors(GenState &S, const KernelDataLayout &L,
+                    WorkSplit Split) const override;
+  void cpuIteration(TraceEmitter &E, GenState &S) const override;
+  void gpuIteration(TraceEmitter &E, GenState &S) const override;
 };
 
 class DctGenerator final : public KernelTraceGenerator {
@@ -223,12 +257,10 @@ public:
   KernelId kernel() const override { return KernelId::Dct; }
 
 protected:
-  void setUpCursors(const KernelDataLayout &L, WorkSplit S) const override;
-  void cpuIteration(TraceEmitter &E, XorShiftRng &R, uint64_t I) const override;
-  void gpuIteration(TraceEmitter &E, XorShiftRng &R, uint64_t I) const override;
-
-private:
-  mutable StreamCursor Blocks, Coeffs;
+  void setUpCursors(GenState &S, const KernelDataLayout &L,
+                    WorkSplit Split) const override;
+  void cpuIteration(TraceEmitter &E, GenState &S) const override;
+  void gpuIteration(TraceEmitter &E, GenState &S) const override;
 };
 
 class MergeSortGenerator final : public KernelTraceGenerator {
@@ -236,12 +268,10 @@ public:
   KernelId kernel() const override { return KernelId::MergeSort; }
 
 protected:
-  void setUpCursors(const KernelDataLayout &L, WorkSplit S) const override;
-  void cpuIteration(TraceEmitter &E, XorShiftRng &R, uint64_t I) const override;
-  void gpuIteration(TraceEmitter &E, XorShiftRng &R, uint64_t I) const override;
-
-private:
-  mutable StreamCursor Keys, Sorted;
+  void setUpCursors(GenState &S, const KernelDataLayout &L,
+                    WorkSplit Split) const override;
+  void cpuIteration(TraceEmitter &E, GenState &S) const override;
+  void gpuIteration(TraceEmitter &E, GenState &S) const override;
 };
 
 class KMeansGenerator final : public KernelTraceGenerator {
@@ -249,12 +279,10 @@ public:
   KernelId kernel() const override { return KernelId::KMeans; }
 
 protected:
-  void setUpCursors(const KernelDataLayout &L, WorkSplit S) const override;
-  void cpuIteration(TraceEmitter &E, XorShiftRng &R, uint64_t I) const override;
-  void gpuIteration(TraceEmitter &E, XorShiftRng &R, uint64_t I) const override;
-
-private:
-  mutable StreamCursor Points, Centroids;
+  void setUpCursors(GenState &S, const KernelDataLayout &L,
+                    WorkSplit Split) const override;
+  void cpuIteration(TraceEmitter &E, GenState &S) const override;
+  void gpuIteration(TraceEmitter &E, GenState &S) const override;
 };
 
 } // namespace hetsim

@@ -2,101 +2,11 @@
 
 #include "trace/TraceBuffer.h"
 
+#include "trace/ComputeBlock.h"
+
 #include <cassert>
 
 using namespace hetsim;
-
-void TraceBuffer::emitAlu(Opcode Op, uint32_t Pc, uint8_t Dst, uint8_t SrcA,
-                          uint8_t SrcB) {
-  assert(!isMemoryOp(Op) && !isBranchOp(Op) && "use the typed emitters");
-  TraceRecord R;
-  R.Op = Op;
-  R.Pc = Pc;
-  R.DstReg = Dst;
-  R.SrcRegA = SrcA;
-  R.SrcRegB = SrcB;
-  Records.push_back(R);
-}
-
-void TraceBuffer::emitLoad(uint32_t Pc, uint8_t Dst, Addr Address,
-                           uint16_t Bytes, uint8_t AddrReg) {
-  TraceRecord R;
-  R.Op = Opcode::Load;
-  R.Pc = Pc;
-  R.DstReg = Dst;
-  R.SrcRegA = AddrReg;
-  R.MemAddr = Address;
-  R.MemBytes = Bytes;
-  Records.push_back(R);
-}
-
-void TraceBuffer::emitStore(uint32_t Pc, uint8_t Src, Addr Address,
-                            uint16_t Bytes, uint8_t AddrReg) {
-  TraceRecord R;
-  R.Op = Opcode::Store;
-  R.Pc = Pc;
-  R.SrcRegA = Src;
-  R.SrcRegB = AddrReg;
-  R.MemAddr = Address;
-  R.MemBytes = Bytes;
-  Records.push_back(R);
-}
-
-void TraceBuffer::emitBranch(uint32_t Pc, bool Taken, uint8_t CondReg) {
-  TraceRecord R;
-  R.Op = Opcode::Branch;
-  R.Pc = Pc;
-  R.SrcRegA = CondReg;
-  R.IsTaken = Taken;
-  Records.push_back(R);
-}
-
-void TraceBuffer::emitSimdLoad(uint32_t Pc, uint8_t Dst, Addr Address,
-                               uint16_t BytesPerLane, uint8_t Lanes,
-                               uint16_t StrideBytes) {
-  assert(Lanes >= 1 && Lanes <= 32 && "implausible lane count");
-  TraceRecord R;
-  R.Op = Opcode::Load;
-  R.Pc = Pc;
-  R.DstReg = Dst;
-  R.MemAddr = Address;
-  R.MemBytes = BytesPerLane;
-  R.SimdLanes = Lanes;
-  R.LaneStrideBytes = StrideBytes;
-  Records.push_back(R);
-}
-
-void TraceBuffer::emitSimdStore(uint32_t Pc, uint8_t Src, Addr Address,
-                                uint16_t BytesPerLane, uint8_t Lanes,
-                                uint16_t StrideBytes) {
-  assert(Lanes >= 1 && Lanes <= 32 && "implausible lane count");
-  TraceRecord R;
-  R.Op = Opcode::Store;
-  R.Pc = Pc;
-  R.SrcRegA = Src;
-  R.MemAddr = Address;
-  R.MemBytes = BytesPerLane;
-  R.SimdLanes = Lanes;
-  R.LaneStrideBytes = StrideBytes;
-  Records.push_back(R);
-}
-
-void TraceBuffer::emitSmem(bool IsStore, uint32_t Pc, uint8_t Reg,
-                           Addr Offset, uint16_t Bytes, uint8_t Lanes,
-                           uint16_t StrideBytes) {
-  TraceRecord R;
-  R.Op = IsStore ? Opcode::SmemStore : Opcode::SmemLoad;
-  R.Pc = Pc;
-  if (IsStore)
-    R.SrcRegA = Reg;
-  else
-    R.DstReg = Reg;
-  R.MemAddr = Offset;
-  R.MemBytes = Bytes;
-  R.SimdLanes = Lanes;
-  R.LaneStrideBytes = StrideBytes;
-  Records.push_back(R);
-}
 
 TraceMix TraceBuffer::computeMix() const {
   TraceMix Mix;
@@ -124,4 +34,26 @@ TraceMix TraceBuffer::computeMix() const {
     }
   }
   return Mix;
+}
+
+//===----------------------------------------------------------------------===//
+// SharedTrace — out of line so the header needs only a forward declaration
+// of BlockTrace.
+//===----------------------------------------------------------------------===//
+
+const TraceBuffer &SharedTrace::buffer() const {
+  static const TraceBuffer Empty;
+  if (Ptr)
+    return *Ptr;
+  if (Blocks)
+    return Blocks->materialized();
+  return Empty;
+}
+
+size_t SharedTrace::size() const {
+  if (Ptr)
+    return Ptr->size();
+  if (Blocks)
+    return size_t(Blocks->totalRecords());
+  return 0;
 }

@@ -12,6 +12,7 @@
 
 #include "trace/TraceRecord.h"
 
+#include <cassert>
 #include <memory>
 #include <vector>
 
@@ -39,38 +40,104 @@ public:
   /// Appends \p Record verbatim.
   void append(const TraceRecord &Record) { Records.push_back(Record); }
 
+  // The emitters are inline and construct records in place: the window
+  // expansion path runs them tens of millions of times per sweep, and an
+  // out-of-line construct-then-push_back showed up at >10% of sweep time.
+
   /// Emits an ALU-class instruction Dst <- SrcA op SrcB.
   void emitAlu(Opcode Op, uint32_t Pc, uint8_t Dst, uint8_t SrcA,
-               uint8_t SrcB = NoReg);
+               uint8_t SrcB = NoReg) {
+    assert(!isMemoryOp(Op) && !isBranchOp(Op) && "use the typed emitters");
+    TraceRecord &R = appendDefault();
+    R.Op = Op;
+    R.Pc = Pc;
+    R.DstReg = Dst;
+    R.SrcRegA = SrcA;
+    R.SrcRegB = SrcB;
+  }
 
   /// Emits a scalar load of \p Bytes at \p Address into \p Dst.
   void emitLoad(uint32_t Pc, uint8_t Dst, Addr Address, uint16_t Bytes,
-                uint8_t AddrReg = NoReg);
+                uint8_t AddrReg = NoReg) {
+    TraceRecord &R = appendDefault();
+    R.Op = Opcode::Load;
+    R.Pc = Pc;
+    R.DstReg = Dst;
+    R.SrcRegA = AddrReg;
+    R.MemAddr = Address;
+    R.MemBytes = Bytes;
+  }
 
   /// Emits a scalar store of \p Bytes at \p Address from \p Src.
   void emitStore(uint32_t Pc, uint8_t Src, Addr Address, uint16_t Bytes,
-                 uint8_t AddrReg = NoReg);
+                 uint8_t AddrReg = NoReg) {
+    TraceRecord &R = appendDefault();
+    R.Op = Opcode::Store;
+    R.Pc = Pc;
+    R.SrcRegA = Src;
+    R.SrcRegB = AddrReg;
+    R.MemAddr = Address;
+    R.MemBytes = Bytes;
+  }
 
   /// Emits a conditional branch at \p Pc with outcome \p Taken, optionally
   /// depending on \p CondReg.
-  void emitBranch(uint32_t Pc, bool Taken, uint8_t CondReg = NoReg);
+  void emitBranch(uint32_t Pc, bool Taken, uint8_t CondReg = NoReg) {
+    TraceRecord &R = appendDefault();
+    R.Op = Opcode::Branch;
+    R.Pc = Pc;
+    R.SrcRegA = CondReg;
+    R.IsTaken = Taken;
+  }
 
   /// Emits a GPU warp load: \p Lanes lanes of \p BytesPerLane starting at
   /// \p Address with \p StrideBytes between lanes.
   void emitSimdLoad(uint32_t Pc, uint8_t Dst, Addr Address,
                     uint16_t BytesPerLane, uint8_t Lanes,
-                    uint16_t StrideBytes);
+                    uint16_t StrideBytes) {
+    assert(Lanes >= 1 && Lanes <= 32 && "implausible lane count");
+    TraceRecord &R = appendDefault();
+    R.Op = Opcode::Load;
+    R.Pc = Pc;
+    R.DstReg = Dst;
+    R.MemAddr = Address;
+    R.MemBytes = BytesPerLane;
+    R.SimdLanes = Lanes;
+    R.LaneStrideBytes = StrideBytes;
+  }
 
   /// Emits a GPU warp store.
   void emitSimdStore(uint32_t Pc, uint8_t Src, Addr Address,
                      uint16_t BytesPerLane, uint8_t Lanes,
-                     uint16_t StrideBytes);
+                     uint16_t StrideBytes) {
+    assert(Lanes >= 1 && Lanes <= 32 && "implausible lane count");
+    TraceRecord &R = appendDefault();
+    R.Op = Opcode::Store;
+    R.Pc = Pc;
+    R.SrcRegA = Src;
+    R.MemAddr = Address;
+    R.MemBytes = BytesPerLane;
+    R.SimdLanes = Lanes;
+    R.LaneStrideBytes = StrideBytes;
+  }
 
   /// Emits a scratchpad (software-managed cache) access. \p StrideBytes
   /// is the lane stride (bank-conflict behaviour; 4 = conflict-free).
   void emitSmem(bool IsStore, uint32_t Pc, uint8_t Reg, Addr Offset,
                 uint16_t Bytes, uint8_t Lanes = 1,
-                uint16_t StrideBytes = 4);
+                uint16_t StrideBytes = 4) {
+    TraceRecord &R = appendDefault();
+    R.Op = IsStore ? Opcode::SmemStore : Opcode::SmemLoad;
+    R.Pc = Pc;
+    if (IsStore)
+      R.SrcRegA = Reg;
+    else
+      R.DstReg = Reg;
+    R.MemAddr = Offset;
+    R.MemBytes = Bytes;
+    R.SimdLanes = Lanes;
+    R.LaneStrideBytes = StrideBytes;
+  }
 
   size_t size() const { return Records.size(); }
   bool empty() const { return Records.empty(); }
@@ -92,8 +159,15 @@ public:
   void clear() { Records.clear(); }
 
 private:
+  TraceRecord &appendDefault() {
+    Records.emplace_back();
+    return Records.back();
+  }
+
   std::vector<TraceRecord> Records;
 };
+
+class BlockTrace;
 
 /// An immutable, shareable trace handle. Lowered programs hold their
 /// traces through this so N sweep points over the same (kernel, params)
@@ -102,6 +176,12 @@ private:
 /// `const TraceBuffer`: size/records/iteration/implicit conversion all
 /// forward to the wrapped buffer; a default-constructed handle behaves as
 /// an empty trace.
+///
+/// A handle may alternatively wrap a run-length BlockTrace (the compute
+/// fast path). Cores check blocks() first and expand windows; any caller
+/// that reaches for buffer()/records() transparently gets the block's
+/// lazily materialized form instead, so existing consumers keep working
+/// unchanged.
 class SharedTrace {
 public:
   SharedTrace() = default;
@@ -114,13 +194,19 @@ public:
   SharedTrace(std::shared_ptr<const TraceBuffer> Shared)
       : Ptr(std::move(Shared)) {}
 
-  const TraceBuffer &buffer() const {
-    static const TraceBuffer Empty;
-    return Ptr ? *Ptr : Empty;
-  }
+  /// Adopts a run-length block (fast path).
+  SharedTrace(std::shared_ptr<const BlockTrace> Block)
+      : Blocks(std::move(Block)) {}
+
+  /// The materialized record stream (materializes a block on first use).
+  const TraceBuffer &buffer() const;
   operator const TraceBuffer &() const { return buffer(); }
 
-  size_t size() const { return Ptr ? Ptr->size() : 0; }
+  /// The run-length form, or nullptr for materialized handles.
+  const BlockTrace *blocks() const { return Blocks.get(); }
+
+  /// Record count without forcing materialization.
+  size_t size() const;
   bool empty() const { return size() == 0; }
   const TraceRecord &operator[](size_t I) const { return buffer()[I]; }
   const std::vector<TraceRecord> &records() const {
@@ -134,10 +220,13 @@ public:
   }
 
   /// Number of co-owners (telemetry: >1 means the cache deduplicated).
-  long useCount() const { return Ptr ? Ptr.use_count() : 0; }
+  long useCount() const {
+    return Ptr ? Ptr.use_count() : (Blocks ? Blocks.use_count() : 0);
+  }
 
 private:
   std::shared_ptr<const TraceBuffer> Ptr;
+  std::shared_ptr<const BlockTrace> Blocks;
 };
 
 } // namespace hetsim

@@ -136,6 +136,72 @@ TraceCache::serial(KernelId Kernel, uint64_t InstCount,
   });
 }
 
+SharedTrace TraceCache::computeShared(KernelId Kernel, const GenRequest &Req,
+                                      const KernelDataLayout &Layout) {
+  if (!fastPathEnabled())
+    return SharedTrace(compute(Kernel, Req, Layout));
+  if (!Enabled)
+    return SharedTrace(std::make_shared<const BlockTrace>(Kernel, Req,
+                                                          Layout));
+  Key K;
+  K.Kernel = Kernel;
+  K.Kind = Req.Pu == PuKind::Cpu ? 0 : 1;
+  K.Split = static_cast<uint8_t>(Req.Split);
+  K.InstCount = Req.InstCount;
+  K.Seed = Req.Seed;
+  K.LayoutHash = layoutFingerprint(Layout);
+  {
+    std::shared_lock<std::shared_mutex> Read(MapMutex);
+    auto It = BlockMap.find(K);
+    if (It != BlockMap.end()) {
+      Hits.fetch_add(1, std::memory_order_relaxed);
+      return SharedTrace(It->second);
+    }
+  }
+  auto Block = std::make_shared<const BlockTrace>(Kernel, Req, Layout);
+  std::unique_lock<std::shared_mutex> Write(MapMutex);
+  auto [It, Inserted] = BlockMap.emplace(K, std::move(Block));
+  if (Inserted)
+    Misses.fetch_add(1, std::memory_order_relaxed);
+  else
+    Hits.fetch_add(1, std::memory_order_relaxed);
+  return SharedTrace(It->second);
+}
+
+SharedTrace TraceCache::serialShared(KernelId Kernel, uint64_t InstCount,
+                                     const KernelDataLayout &Layout,
+                                     uint64_t Seed) {
+  if (!fastPathEnabled())
+    return SharedTrace(serial(Kernel, InstCount, Layout, Seed));
+  if (!Enabled)
+    return SharedTrace(
+        std::make_shared<const BlockTrace>(Kernel, InstCount, Seed, Layout));
+  Key K;
+  K.Kernel = Kernel;
+  K.Kind = 2;
+  K.Split = 0;
+  K.InstCount = InstCount;
+  K.Seed = Seed;
+  K.LayoutHash = layoutFingerprint(Layout);
+  {
+    std::shared_lock<std::shared_mutex> Read(MapMutex);
+    auto It = BlockMap.find(K);
+    if (It != BlockMap.end()) {
+      Hits.fetch_add(1, std::memory_order_relaxed);
+      return SharedTrace(It->second);
+    }
+  }
+  auto Block =
+      std::make_shared<const BlockTrace>(Kernel, InstCount, Seed, Layout);
+  std::unique_lock<std::shared_mutex> Write(MapMutex);
+  auto [It, Inserted] = BlockMap.emplace(K, std::move(Block));
+  if (Inserted)
+    Misses.fetch_add(1, std::memory_order_relaxed);
+  else
+    Hits.fetch_add(1, std::memory_order_relaxed);
+  return SharedTrace(It->second);
+}
+
 TraceCacheStats TraceCache::stats() const {
   TraceCacheStats S;
   S.Hits = Hits.load(std::memory_order_relaxed);
@@ -143,14 +209,22 @@ TraceCacheStats TraceCache::stats() const {
   return S;
 }
 
+void TraceCache::publishStats(StatRegistry &Registry) const {
+  Registry.counterRef("trace_cache.hits") =
+      Hits.load(std::memory_order_relaxed);
+  Registry.counterRef("trace_cache.misses") =
+      Misses.load(std::memory_order_relaxed);
+}
+
 void TraceCache::clear() {
   std::unique_lock<std::shared_mutex> Write(MapMutex);
   Map.clear();
+  BlockMap.clear();
   Hits.store(0, std::memory_order_relaxed);
   Misses.store(0, std::memory_order_relaxed);
 }
 
 size_t TraceCache::entryCount() const {
   std::shared_lock<std::shared_mutex> Read(MapMutex);
-  return Map.size();
+  return Map.size() + BlockMap.size();
 }

@@ -7,8 +7,13 @@
 /// those inputs and hands out shared_ptr<const TraceBuffer> handles, so N
 /// sweep points over the same kernel share one immutable buffer across
 /// threads. Lookups take a shared lock; generation on a miss is
-/// serialized per kernel because the static generator instances keep
-/// mutable cursor state (see KernelTraceGenerator.h).
+/// serialized per kernel so concurrent threads never duplicate the same
+/// expensive materialization.
+///
+/// With the fast path on (see trace/ComputeBlock.h), computeShared /
+/// serialShared hand out run-length BlockTrace handles instead: a cache
+/// entry is then a ~200-byte recipe rather than a multi-MB record vector,
+/// and cores expand it window by window.
 ///
 /// Set HETSIM_TRACE_CACHE=0 to bypass the cache entirely (every request
 /// regenerates) — the seed harness behaviour, kept for perf bisection.
@@ -18,6 +23,8 @@
 #ifndef HETSIM_TRACE_TRACECACHE_H
 #define HETSIM_TRACE_TRACECACHE_H
 
+#include "common/Stats.h"
+#include "trace/ComputeBlock.h"
 #include "trace/KernelTraceGenerator.h"
 
 #include <array>
@@ -59,8 +66,20 @@ public:
                                             const KernelDataLayout &Layout,
                                             uint64_t Seed);
 
+  /// Like compute()/serial(), but returns a SharedTrace that wraps a
+  /// run-length BlockTrace when the fast path is enabled (and a
+  /// materialized buffer otherwise, preserving reference behaviour).
+  SharedTrace computeShared(KernelId Kernel, const GenRequest &Req,
+                            const KernelDataLayout &Layout);
+  SharedTrace serialShared(KernelId Kernel, uint64_t InstCount,
+                           const KernelDataLayout &Layout, uint64_t Seed);
+
   /// Snapshot of the hit/miss counters.
   TraceCacheStats stats() const;
+
+  /// Publishes the counters into \p Registry as "trace_cache.hits" /
+  /// "trace_cache.misses" (absolute values, idempotent).
+  void publishStats(StatRegistry &Registry) const;
 
   /// Drops every cached trace and resets the counters (tests).
   void clear();
@@ -98,9 +117,12 @@ private:
   bool Enabled = true;
   mutable std::shared_mutex MapMutex;
   std::unordered_map<Key, std::shared_ptr<const TraceBuffer>, KeyHash> Map;
-  /// Generation serialization, one lock per kernel: the static generator
-  /// objects carry mutable cursors, so two threads must never run the
-  /// same kernel's generator concurrently.
+  /// Run-length entries, same keys. Block construction is a cheap layout
+  /// copy, so it needs no generation lock — only MapMutex.
+  std::unordered_map<Key, std::shared_ptr<const BlockTrace>, KeyHash>
+      BlockMap;
+  /// Generation serialization, one lock per kernel, so two threads never
+  /// duplicate the same kernel's (expensive) materialization.
   std::array<std::mutex, NumKernels> GenMutex;
   std::atomic<uint64_t> Hits{0};
   std::atomic<uint64_t> Misses{0};

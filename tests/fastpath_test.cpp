@@ -1,0 +1,282 @@
+//===- tests/fastpath_test.cpp - Fast-path differential equivalence -------===//
+///
+/// \file
+/// The fast path's contract is *exact* equivalence: block-backed traces,
+/// windowed expansion, and the Pattern-block closed-form fold must produce
+/// results byte-identical to the fully materialized per-record reference
+/// path. These tests run both paths (HETSIM_FASTPATH toggled through the
+/// setFastPathForTesting hook) and assert identical RunResults and metrics
+/// documents, plus targeted unit checks of the CPU/GPU fold against their
+/// per-record references.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/HeteroSimulator.h"
+#include "gpu/GpuCore.h"
+#include "memory/MemorySystem.h"
+#include "obs/Metrics.h"
+#include "trace/ComputeBlock.h"
+#include "trace/TraceCache.h"
+
+#include <gtest/gtest.h>
+
+using namespace hetsim;
+
+namespace {
+
+/// Restores the environment-driven fast-path setting (and a cold trace
+/// cache) no matter how a test exits.
+struct FastPathGuard {
+  ~FastPathGuard() {
+    setFastPathForTesting(-1);
+    TraceCache::global().clear();
+  }
+};
+
+void expectSegmentEq(const SegmentResult &A, const SegmentResult &B,
+                     const std::string &What) {
+  EXPECT_EQ(A.Cycles, B.Cycles) << What;
+  EXPECT_EQ(A.Insts, B.Insts) << What;
+  EXPECT_EQ(A.MemAccesses, B.MemAccesses) << What;
+  EXPECT_EQ(A.MemLatencySum, B.MemLatencySum) << What;
+  EXPECT_EQ(A.MemLatencyMax, B.MemLatencyMax) << What;
+  EXPECT_EQ(A.BranchMispredicts, B.BranchMispredicts) << What;
+  EXPECT_EQ(A.ICacheMisses, B.ICacheMisses) << What;
+  EXPECT_EQ(A.StoreForwards, B.StoreForwards) << What;
+  EXPECT_EQ(A.PageFaults, B.PageFaults) << What;
+  EXPECT_EQ(A.PageFaultCycles, B.PageFaultCycles) << What;
+}
+
+void expectRunResultEq(const RunResult &A, const RunResult &B,
+                       const std::string &What) {
+  EXPECT_EQ(A.Time.SequentialNs, B.Time.SequentialNs) << What;
+  EXPECT_EQ(A.Time.ParallelNs, B.Time.ParallelNs) << What;
+  EXPECT_EQ(A.Time.CommunicationNs, B.Time.CommunicationNs) << What;
+  for (unsigned P = 0; P != NumRunPhases; ++P)
+    EXPECT_EQ(A.Phases.Ns[P], B.Phases.Ns[P]) << What << " phase " << P;
+  expectSegmentEq(A.CpuTotal, B.CpuTotal, What + " cpu");
+  expectSegmentEq(A.GpuTotal, B.GpuTotal, What + " gpu");
+  EXPECT_EQ(A.TransferredBytes, B.TransferredBytes) << What;
+  EXPECT_EQ(A.TransferCount, B.TransferCount) << What;
+  EXPECT_EQ(A.PageFaults, B.PageFaults) << What;
+  EXPECT_EQ(A.OwnershipActions, B.OwnershipActions) << What;
+  EXPECT_EQ(A.PushNs, B.PushNs) << What;
+  EXPECT_EQ(A.CommSourceLines, B.CommSourceLines) << What;
+}
+
+/// Runs (Study, Kernel) with the fast path forced to \p Mode from a cold
+/// trace cache and returns the result plus the metrics snapshot.
+std::pair<RunResult, MetricsSnapshot> runOne(CaseStudy Study, KernelId Kernel,
+                                             int Mode) {
+  setFastPathForTesting(Mode);
+  TraceCache::global().clear();
+  HeteroSimulator Sim(SystemConfig::forCaseStudy(Study));
+  RunResult Result = Sim.run(Kernel);
+  MetricsSnapshot Metrics = Sim.collectMetrics(Result);
+  return {Result, Metrics};
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Whole-simulation differential: every kernel on every memory model.
+//===----------------------------------------------------------------------===//
+
+TEST(FastPathDifferential, AllKernelsAllModelsIdentical) {
+  FastPathGuard Guard;
+  for (CaseStudy Study : allCaseStudies()) {
+    for (KernelId Kernel : allKernels()) {
+      std::string What = std::string(caseStudyName(Study)) + "/" +
+                         kernelName(Kernel);
+      auto [RefResult, RefMetrics] = runOne(Study, Kernel, /*Mode=*/0);
+      auto [FastResult, FastMetrics] = runOne(Study, Kernel, /*Mode=*/1);
+      expectRunResultEq(RefResult, FastResult, What);
+      // The metrics documents must match verbatim: same keys, same values.
+      EXPECT_EQ(renderMetricsJson(RefMetrics), renderMetricsJson(FastMetrics))
+          << What;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Pattern-block fold vs per-record reference.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A CPU steady-state loop body without global memory: ALU dependence
+/// chain plus a loop branch (always taken) and a data-dependent branch
+/// with a periodic outcome the gshare predictor learns.
+PatternBlock makeCpuPattern(uint64_t Repeats, bool WithMemory) {
+  PatternBlock P;
+  const uint32_t Pc = 0x400;
+  for (unsigned I = 0; I != 6; ++I)
+    P.Prologue.emitAlu(Opcode::IntAlu, Pc + I * 4, uint8_t(8 + I), 0);
+  P.Body.emitAlu(Opcode::IntAlu, Pc + 0x40, 8, 9);
+  P.Body.emitAlu(Opcode::FpMul, Pc + 0x44, 9, 8, 10);
+  if (WithMemory)
+    P.Body.emitLoad(Pc + 0x48, 10, region::CpuPrivateBase + 0x100, 4);
+  else
+    P.Body.emitAlu(Opcode::FpMac, Pc + 0x48, 10, 9, 8);
+  P.Body.emitAlu(Opcode::IntAlu, Pc + 0x4C, 11, 10);
+  P.Body.emitBranch(Pc + 0x50, /*Taken=*/true, 11);
+  P.Body.emitAlu(Opcode::IntAlu, Pc + 0x54, 12, 11);
+  P.Body.emitBranch(Pc + 0x58, /*Taken=*/true);
+  P.BodyRepeats = Repeats;
+  for (unsigned I = 0; I != 4; ++I)
+    P.Epilogue.emitAlu(Opcode::FpAlu, Pc + 0x80 + I * 4, uint8_t(16 + I), 8);
+  return P;
+}
+
+/// A GPU steady-state body sized to a whole number of warp rotations
+/// (NumWarps * WarpChunkRecords records) with scratchpad traffic only.
+PatternBlock makeGpuPattern(const GpuConfig &Config, uint64_t Repeats) {
+  PatternBlock P;
+  const uint32_t Pc = 0x800;
+  const unsigned Rotation = Config.NumWarps * Config.WarpChunkRecords;
+  for (unsigned I = 0; I != 8; ++I)
+    P.Prologue.emitAlu(Opcode::IntAlu, Pc + I * 4, uint8_t(8 + I), 0);
+  for (unsigned I = 0; I != Rotation; ++I) {
+    uint8_t Reg = uint8_t(8 + I % 24);
+    switch (I % 4) {
+    case 0:
+      P.Body.emitSmem(/*IsStore=*/false, Pc + 0x100 + I * 4, Reg,
+                      (I * 32) % (16 * 1024), 4, 8, 4);
+      break;
+    case 1:
+      P.Body.emitAlu(Opcode::FpMac, Pc + 0x100 + I * 4, Reg, uint8_t(8),
+                     uint8_t(9));
+      break;
+    case 2:
+      P.Body.emitSmem(/*IsStore=*/true, Pc + 0x100 + I * 4, Reg,
+                      (I * 32) % (16 * 1024), 4, 8, 4);
+      break;
+    case 3:
+      P.Body.emitBranch(Pc + 0x100 + I * 4, /*Taken=*/true);
+      break;
+    }
+  }
+  P.BodyRepeats = Repeats;
+  for (unsigned I = 0; I != 4; ++I)
+    P.Epilogue.emitAlu(Opcode::IntAlu, Pc + 0x40 + I * 4, uint8_t(16 + I), 8);
+  return P;
+}
+
+SegmentResult runCpuPattern(const std::shared_ptr<const BlockTrace> &Block,
+                            bool Fast) {
+  MemHierConfig HierConfig;
+  MemorySystem Mem(HierConfig);
+  Mem.mapRange(PuKind::Cpu, region::CpuPrivateBase, 1 << 20);
+  CpuCore Core(CpuConfig(), Mem);
+  if (!Fast)
+    return Core.run(Block->materialized(), 0);
+  setFastPathForTesting(1);
+  SegmentResult R = Core.run(SharedTrace(Block), 0);
+  setFastPathForTesting(-1);
+  return R;
+}
+
+SegmentResult runGpuPattern(const std::shared_ptr<const BlockTrace> &Block,
+                            bool Fast) {
+  MemHierConfig HierConfig;
+  MemorySystem Mem(HierConfig);
+  Mem.mapRange(PuKind::Gpu, region::GpuPrivateBase, 1 << 20);
+  GpuCore Core(GpuConfig(), Mem);
+  if (!Fast)
+    return Core.run(Block->materialized(), 0);
+  setFastPathForTesting(1);
+  SegmentResult R = Core.run(SharedTrace(Block), 0);
+  setFastPathForTesting(-1);
+  return R;
+}
+
+} // namespace
+
+TEST(FastPathFold, CpuPatternFoldMatchesReference) {
+  FastPathGuard Guard;
+  auto Block = std::make_shared<const BlockTrace>(
+      makeCpuPattern(20000, /*WithMemory=*/false));
+  SegmentResult Ref = runCpuPattern(Block, /*Fast=*/false);
+  SegmentResult Fast = runCpuPattern(Block, /*Fast=*/true);
+  expectSegmentEq(Ref, Fast, "cpu fold");
+  EXPECT_EQ(Ref.Insts, Block->totalRecords());
+}
+
+TEST(FastPathFold, CpuPatternWithMemoryFallsBackExactly) {
+  // Global memory in the body disqualifies the fold; the windowed
+  // per-record remainder must still match the reference bit for bit.
+  FastPathGuard Guard;
+  auto Block = std::make_shared<const BlockTrace>(
+      makeCpuPattern(2000, /*WithMemory=*/true));
+  SegmentResult Ref = runCpuPattern(Block, /*Fast=*/false);
+  SegmentResult Fast = runCpuPattern(Block, /*Fast=*/true);
+  expectSegmentEq(Ref, Fast, "cpu fallback");
+}
+
+TEST(FastPathFold, CpuShortPatternBelowWarmupMatches) {
+  // Too few repeats to ever fold: exercises the pure per-record route
+  // through runPatternBlock.
+  FastPathGuard Guard;
+  auto Block = std::make_shared<const BlockTrace>(
+      makeCpuPattern(3, /*WithMemory=*/false));
+  SegmentResult Ref = runCpuPattern(Block, /*Fast=*/false);
+  SegmentResult Fast = runCpuPattern(Block, /*Fast=*/true);
+  expectSegmentEq(Ref, Fast, "cpu short pattern");
+}
+
+TEST(FastPathFold, GpuPatternFoldMatchesReference) {
+  FastPathGuard Guard;
+  GpuConfig Config;
+  auto Block =
+      std::make_shared<const BlockTrace>(makeGpuPattern(Config, 64));
+  SegmentResult Ref = runGpuPattern(Block, /*Fast=*/false);
+  SegmentResult Fast = runGpuPattern(Block, /*Fast=*/true);
+  expectSegmentEq(Ref, Fast, "gpu fold");
+  EXPECT_EQ(Ref.Insts, Block->totalRecords());
+}
+
+TEST(FastPathFold, GpuShortPatternMatches) {
+  FastPathGuard Guard;
+  GpuConfig Config;
+  auto Block =
+      std::make_shared<const BlockTrace>(makeGpuPattern(Config, 2));
+  SegmentResult Ref = runGpuPattern(Block, /*Fast=*/false);
+  SegmentResult Fast = runGpuPattern(Block, /*Fast=*/true);
+  expectSegmentEq(Ref, Fast, "gpu short pattern");
+}
+
+//===----------------------------------------------------------------------===//
+// Windowed expansion equivalence at the trace layer.
+//===----------------------------------------------------------------------===//
+
+TEST(FastPathExpansion, WindowsConcatenateToMaterializedStream) {
+  FastPathGuard Guard;
+  KernelDataLayout Layout =
+      KernelDataLayout::makeLinear(KernelId::KMeans, region::CpuPrivateBase);
+  GenRequest Req;
+  Req.Pu = PuKind::Cpu;
+  Req.InstCount = 50000;
+  Req.Seed = 7;
+  BlockTrace Block(KernelId::KMeans, Req, Layout);
+
+  const TraceBuffer &Reference = Block.materialized();
+  BlockExpander Expander(Block);
+  TraceBuffer Window;
+  size_t Pos = 0;
+  while (!Expander.done()) {
+    uint64_t Got = Expander.next(Window);
+    ASSERT_GT(Got, 0u);
+    for (size_t I = 0; I != Got; ++I, ++Pos) {
+      ASSERT_LT(Pos, Reference.size());
+      const TraceRecord &A = Window[I], &B = Reference[Pos];
+      ASSERT_TRUE(A.MemAddr == B.MemAddr && A.Pc == B.Pc &&
+                  A.MemBytes == B.MemBytes &&
+                  A.LaneStrideBytes == B.LaneStrideBytes && A.Op == B.Op &&
+                  A.DstReg == B.DstReg && A.SrcRegA == B.SrcRegA &&
+                  A.SrcRegB == B.SrcRegB && A.SimdLanes == B.SimdLanes &&
+                  A.IsTaken == B.IsTaken)
+          << "record " << Pos;
+    }
+  }
+  EXPECT_EQ(Pos, Reference.size());
+}
