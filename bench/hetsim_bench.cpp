@@ -10,7 +10,8 @@
 ///
 /// Usage: hetsim_bench [--smoke] [--phase NAME]
 ///   --smoke   shrink every phase to a seconds-scale CI gate
-///   --phase   run only the named phase (tracegen|singlerun|sweep|fastpath)
+///   --phase   run only the named phase
+///             (tracegen|singlerun|sweep|cachehit|scaling|fastpath)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -21,8 +22,10 @@
 #include "trace/TraceCache.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 
 using namespace hetsim;
 
@@ -125,7 +128,104 @@ void benchSweep(const BenchOptions &Opts) {
   appendBenchTiming("hetsim_bench_sweep", Runner.telemetry());
 }
 
-/// Phase 4: the Pattern-block closed-form fold against its per-record
+/// Phase 4: regression gate — serving a trace from the cache must never
+/// be slower than regenerating it. A hit is one sharded-map lookup plus a
+/// shared_future get on a ready slot; regeneration walks the whole
+/// generator. If this assertion ever trips, the cache's hot path has
+/// picked up contention (the serial-cached-slower-than-nocache inversion
+/// this PR fixed) and the bench fails loudly rather than letting sweeps
+/// quietly pay for a cache that hurts.
+void benchCacheHit(const BenchOptions &Opts) {
+  std::printf("=== cachehit: hit vs regeneration ===\n");
+  if (!TraceCache::global().enabled()) {
+    std::printf("  SKIP: HETSIM_TRACE_CACHE=0 bypasses the cache\n");
+    return;
+  }
+  TraceCache::global().clear();
+  const KernelId Kernel = KernelId::Reduction;
+  KernelDataLayout Layout =
+      KernelDataLayout::makeLinear(Kernel, region::CpuPrivateBase);
+  GenRequest Req;
+  Req.Pu = PuKind::Cpu;
+  Req.InstCount = Opts.Smoke ? 200000 : 2000000;
+
+  // Populate the entry (cold miss), then time regeneration and a hit on
+  // the identical inputs.
+  auto Cold = TraceCache::global().compute(Kernel, Req, Layout);
+  WallTimer RegenTimer;
+  TraceBuffer Regen =
+      KernelTraceGenerator::forKernel(Kernel).generateCompute(Req, Layout);
+  double RegenSecs = RegenTimer.elapsedSeconds();
+  WallTimer HitTimer;
+  auto Hit = TraceCache::global().compute(Kernel, Req, Layout);
+  double HitSecs = HitTimer.elapsedSeconds();
+
+  std::printf("  %llu records: regenerate %.6f s, cache hit %.6f s\n",
+              static_cast<unsigned long long>(Cold->size()), RegenSecs,
+              HitSecs);
+  reportPhase("hetsim_bench_cachehit", Cold->size(), HitSecs);
+  if (Hit.get() != Cold.get()) {
+    std::fprintf(stderr, "error: hit returned a different buffer\n");
+    std::exit(1);
+  }
+  if (HitSecs > RegenSecs) {
+    std::fprintf(stderr,
+                 "error: cache hit (%.6f s) slower than regeneration "
+                 "(%.6f s)\n",
+                 HitSecs, RegenSecs);
+    std::exit(1);
+  }
+}
+
+/// Phase 5: scaling gate — a jobs=2 sweep must finish no slower than
+/// 1.05x the serial wall on a host that actually has two cores (the
+/// threshold tolerates timer noise; real contention regressions like the
+/// jobs=4 trace-gen ballooning this PR fixed blow straight past it).
+/// Single-core hosts print a visible skip notice instead of a flaky gate.
+void benchScaling(const BenchOptions &Opts) {
+  std::printf("=== scaling: jobs=2 vs serial sweep wall ===\n");
+  unsigned Cores = std::thread::hardware_concurrency();
+  if (Cores < 2) {
+    std::printf("  SKIP: scaling gate needs >=2 cores, host reports %u "
+                "(gate not evaluated)\n",
+                Cores);
+    return;
+  }
+  std::vector<SweepPoint> Points;
+  for (CaseStudy Study : allCaseStudies())
+    for (KernelId Kernel : allKernels()) {
+      if (Opts.Smoke &&
+          (Study != CaseStudy::CpuGpu || Kernel > KernelId::Convolution))
+        continue;
+      Points.emplace_back(SystemConfig::forCaseStudy(Study), Kernel);
+    }
+
+  // Both runs start cold so they pay identical generation work;
+  // single-flight keeps the parallel run from duplicating any of it.
+  auto RunWith = [&](unsigned Jobs, const char *Bench) {
+    TraceCache::global().clear();
+    SweepRunner Runner(Jobs);
+    Runner.run(Points);
+    std::printf("  jobs=%u -> %s\n", Jobs,
+                Runner.telemetry().summary().c_str());
+    appendBenchTiming(Bench, Runner.telemetry());
+    return Runner.telemetry().WallSeconds;
+  };
+  double SerialSecs = RunWith(1, "hetsim_bench_scaling_serial");
+  double ParallelSecs = RunWith(2, "hetsim_bench_scaling_jobs2");
+
+  if (ParallelSecs > SerialSecs * 1.05) {
+    std::fprintf(stderr,
+                 "error: jobs=2 sweep (%.3f s) exceeded 1.05x serial "
+                 "wall (%.3f s)\n",
+                 ParallelSecs, SerialSecs);
+    std::exit(1);
+  }
+  std::printf("  gate ok: jobs=2 %.3f s <= 1.05 x serial %.3f s\n",
+              ParallelSecs, SerialSecs);
+}
+
+/// Phase 6: the Pattern-block closed-form fold against its per-record
 /// reference — the speedup the fast path buys on explicitly periodic
 /// steady-state traces, with an equality check.
 void benchFastPath(const BenchOptions &Opts) {
@@ -187,7 +287,8 @@ int main(int Argc, char **Argv) {
     } else {
       std::fprintf(stderr,
                    "usage: hetsim_bench [--smoke] "
-                   "[--phase tracegen|singlerun|sweep|fastpath]\n");
+                   "[--phase tracegen|singlerun|sweep|cachehit|scaling|"
+                   "fastpath]\n");
       return 2;
     }
   }
@@ -199,6 +300,10 @@ int main(int Argc, char **Argv) {
     benchSingleRun(Opts);
   if (Opts.runs("sweep"))
     benchSweep(Opts);
+  if (Opts.runs("cachehit"))
+    benchCacheHit(Opts);
+  if (Opts.runs("scaling"))
+    benchScaling(Opts);
   if (Opts.runs("fastpath"))
     benchFastPath(Opts);
   return 0;

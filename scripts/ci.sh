@@ -37,11 +37,24 @@ ctest --test-dir build -R fastpath --output-on-failure -j "$JOBS" | tail -3
 HETSIM_TIMING_JSON=build/bench-smoke-timing.json \
   build/bench/hetsim_bench --smoke >/dev/null
 
+echo "== gate 1c: parallel scaling smoke (jobs=2 vs serial) =="
+# A jobs=2 sweep must finish within 1.05x the serial wall — the gate that
+# catches trace-generation ballooning / cache contention under parallel
+# sweeps. The bench itself prints a visible SKIP notice (and enforces
+# nothing) on single-core hosts, where the comparison would be noise.
+HETSIM_TIMING_JSON=build/bench-smoke-timing.json \
+  build/bench/hetsim_bench --smoke --phase scaling
+
 if [ "${HETSIM_SKIP_ASAN:-0}" != "1" ]; then
   echo "== gate 2: AddressSanitizer build + tests =="
   cmake -B build-asan -S . -DHETSIM_SANITIZE=address >/dev/null
   cmake --build build-asan -j "$JOBS" >/dev/null
   ctest --test-dir build-asan --output-on-failure -j "$JOBS" | tail -3
+  # Re-run the trace-cache stress suite a few extra times under ASan: its
+  # single-flight and stable-pointer invariants only break in narrow race
+  # windows, so give them more chances to misalign.
+  ctest --test-dir build-asan -R TraceCacheStress --output-on-failure \
+    --repeat until-fail:3 -j "$JOBS" | tail -3
 else
   echo "== gate 2: ASan skipped (HETSIM_SKIP_ASAN=1) =="
 fi

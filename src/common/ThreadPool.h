@@ -50,6 +50,18 @@ public:
   /// in-flight calls finish; remaining unstarted indices are skipped.
   void parallelFor(size_t N, const std::function<void(size_t)> &Fn);
 
+  /// Work-stealing variant that also identifies the executing worker.
+  /// The index space is split into one contiguous range per worker share
+  /// (so neighbouring indices — which tend to share trace-cache keys —
+  /// land on the same worker), each range drained through an atomic
+  /// cursor; a worker that exhausts its own range steals from the range
+  /// with the most work left. \p Fn receives (index, worker) where worker
+  /// is a stable id in [0, min(N, jobs())): per-worker telemetry slots
+  /// index by it. Inline (worker 0, index order) when jobs() == 1 or
+  /// N == 1. Exceptions behave as in parallelFor.
+  void parallelForWorkers(size_t N,
+                          const std::function<void(size_t, unsigned)> &Fn);
+
 private:
   void workerLoop(const std::stop_token &Stop);
 

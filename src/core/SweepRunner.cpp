@@ -5,9 +5,13 @@
 #include "common/Log.h"
 #include "common/ThreadPool.h"
 #include "common/WallTimer.h"
+#include "core/ResultStore.h"
 #include "obs/Json.h"
+#include "trace/ComputeBlock.h"
 #include "trace/TraceCache.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -15,14 +19,15 @@
 using namespace hetsim;
 
 std::string SweepTelemetry::summary() const {
-  char Buffer[320];
+  char Buffer[384];
   std::snprintf(Buffer, sizeof(Buffer),
                 "sweep: %llu points in %.3f s (%.1f points/s, %.3g sim-ns "
-                "per wall-s, gen %.3f s / sim %.3f s, jobs=%u from %s, "
-                "trace cache %.0f%% hits)",
+                "per wall-s, gen %.3f s / sim %.3f s / wait %.3f s, "
+                "jobs=%u from %s, trace cache %.0f%% hits)",
                 static_cast<unsigned long long>(Points), WallSeconds,
-                pointsPerSecond(), simNsPerWallSecond(), TraceGenSeconds,
-                simulateSeconds(), Jobs, JobsSource.c_str(),
+                pointsPerSecond(), simNsPerWallSecond(),
+                traceGenWallSeconds(), simulateSeconds(),
+                lockWaitWallSeconds(), Jobs, JobsSource.c_str(),
                 100.0 * cacheHitRate());
   return Buffer;
 }
@@ -33,9 +38,13 @@ void SweepTelemetry::merge(const SweepTelemetry &Other) {
   Points += Other.Points;
   WallSeconds += Other.WallSeconds;
   SimNsTotal += Other.SimNsTotal;
+  BusySeconds += Other.BusySeconds;
   TraceGenSeconds += Other.TraceGenSeconds;
+  LockWaitSeconds += Other.LockWaitSeconds;
   CacheHits += Other.CacheHits;
   CacheMisses += Other.CacheMisses;
+  StoreHits += Other.StoreHits;
+  StoreMisses += Other.StoreMisses;
 }
 
 /// Where a zero job-count request actually resolved from.
@@ -60,12 +69,25 @@ SweepRunner::run(const std::vector<SweepPoint> &Points) {
   std::vector<RunResult> Results(Points.size());
   Metrics.assign(Points.size(), MetricsSnapshot());
 
+  ResultStore Store =
+      StoreDir.empty() ? ResultStore::fromEnvironment() : ResultStore(StoreDir);
+
+  // Per-worker phase counters. Worker ids from parallelForWorkers are
+  // stable in [0, min(Points, Jobs)), so each worker owns one slot and
+  // no atomics are needed.
+  struct WorkerCounters {
+    uint64_t BusyNs = 0;
+    uint64_t GenNs = 0;
+    uint64_t WaitNs = 0;
+  };
+  std::vector<WorkerCounters> Workers(
+      std::max<size_t>(1, std::min(Points.size(), size_t(Jobs))));
+
   TraceCacheStats Before = TraceCache::global().stats();
-  uint64_t GenBefore = traceGenNanos();
   WallTimer Timer;
   {
     ThreadPool Pool(Jobs);
-    Pool.parallelFor(Points.size(), [&](size_t I) {
+    Pool.parallelForWorkers(Points.size(), [&](size_t I, unsigned Worker) {
       const SweepPoint &Point = Points[I];
       SystemConfig Config = Point.Config;
       // applyOverrides rebuilds CommParams wholesale from the store, so
@@ -73,11 +95,40 @@ SweepRunner::run(const std::vector<SweepPoint> &Points) {
       // by forCaseStudy(Study, Overrides). Only apply a real store.
       if (Point.Overrides.size() != 0)
         Config.applyOverrides(Point.Overrides);
+
+      // Diff this thread's own gen / cache-wait clocks around the point
+      // (a worker thread only ever runs one point at a time, so the
+      // diffs attribute exactly this point's work to this worker).
+      auto BusyStart = std::chrono::steady_clock::now();
+      uint64_t GenStart = threadTraceGenNanos();
+      uint64_t WaitStart = threadTraceCacheWaitNanos();
+
       HeteroSimulator Simulator(Config);
-      Results[I] = Simulator.run(Point.Kernel);
-      // Snapshot while the simulator (and its memory system) is alive;
-      // each worker writes only its own slot.
-      Metrics[I] = Simulator.collectMetrics(Results[I]);
+      if (Store.enabled()) {
+        LoweredProgram Program = lowerKernel(Point.Kernel, Config);
+        ResultStore::Key K = ResultStore::keyFor(Config, Program);
+        ResultStore::Entry E;
+        if (Store.load(K, E)) {
+          Results[I] = E.Result;
+          Metrics[I] = E.Metrics;
+        } else {
+          Results[I] = Simulator.runLowered(Program);
+          Metrics[I] = Simulator.collectMetrics(Results[I]);
+          Store.save(K, {Results[I], Metrics[I]});
+        }
+      } else {
+        Results[I] = Simulator.run(Point.Kernel);
+        // Snapshot while the simulator (and its memory system) is alive;
+        // each worker writes only its own slot.
+        Metrics[I] = Simulator.collectMetrics(Results[I]);
+      }
+
+      WorkerCounters &C = Workers[Worker];
+      C.BusyNs += uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                               std::chrono::steady_clock::now() - BusyStart)
+                               .count());
+      C.GenNs += threadTraceGenNanos() - GenStart;
+      C.WaitNs += threadTraceCacheWaitNanos() - WaitStart;
     });
   }
 
@@ -91,7 +142,13 @@ SweepRunner::run(const std::vector<SweepPoint> &Points) {
   Telemetry.JobsSource = JobsSource;
   Telemetry.Points = Points.size();
   Telemetry.WallSeconds = Timer.elapsedSeconds();
-  Telemetry.TraceGenSeconds = double(traceGenNanos() - GenBefore) * 1e-9;
+  for (const WorkerCounters &C : Workers) {
+    Telemetry.BusySeconds += double(C.BusyNs) * 1e-9;
+    Telemetry.TraceGenSeconds += double(C.GenNs) * 1e-9;
+    Telemetry.LockWaitSeconds += double(C.WaitNs) * 1e-9;
+  }
+  Telemetry.StoreHits = Store.hits();
+  Telemetry.StoreMisses = Store.misses();
   for (const RunResult &Result : Results)
     Telemetry.SimNsTotal += Result.Time.totalNs();
   TraceCacheStats After = TraceCache::global().stats();
@@ -149,14 +206,18 @@ bool hetsim::appendBenchTiming(const std::string &Bench,
                "\"sim_ns_per_wall_s\":%.1f,\"cache_hits\":%llu,"
                "\"cache_misses\":%llu,\"cache_hit_rate\":%.4f,"
                "\"jobs_source\":\"%s\",\"trace_gen_s\":%.6f,"
-               "\"simulate_s\":%.6f}\n",
+               "\"simulate_s\":%.6f,\"lock_wait_s\":%.6f,"
+               "\"store_hits\":%llu,\"store_misses\":%llu}\n",
                Bench.c_str(), static_cast<unsigned long long>(T.Points),
                T.Jobs, T.WallSeconds, T.pointsPerSecond(),
                T.simNsPerWallSecond(),
                static_cast<unsigned long long>(T.CacheHits),
                static_cast<unsigned long long>(T.CacheMisses),
-               T.cacheHitRate(), T.JobsSource.c_str(), T.TraceGenSeconds,
-               T.simulateSeconds());
+               T.cacheHitRate(), T.JobsSource.c_str(),
+               T.traceGenWallSeconds(), T.simulateSeconds(),
+               T.lockWaitWallSeconds(),
+               static_cast<unsigned long long>(T.StoreHits),
+               static_cast<unsigned long long>(T.StoreMisses));
   std::fclose(File);
   return true;
 }

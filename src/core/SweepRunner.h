@@ -38,7 +38,14 @@ struct SweepPoint {
       : Config(std::move(Cfg)), Kernel(K), Overrides(std::move(Store)) {}
 };
 
-/// Wall-clock telemetry of one sweep.
+/// Wall-clock telemetry of one sweep. Phase attribution is per-worker:
+/// each worker diffs its *thread-local* gen / cache-wait counters around
+/// every point, so the sums below are true per-thread seconds — on an
+/// oversubscribed host they still include timesharing stretch, but they
+/// are never double-counted across workers, and the phase-seconds
+/// accessors normalize them against total busy time instead of naively
+/// subtracting from wall time (which used to clamp simulate to 0 the
+/// moment gen sums exceeded the wall clock).
 struct SweepTelemetry {
   unsigned Jobs = 1;      ///< Worker count the sweep ran with.
   /// Where Jobs came from: "explicit" (caller passed a count),
@@ -47,11 +54,19 @@ struct SweepTelemetry {
   uint64_t Points = 0;    ///< Sweep points executed.
   double WallSeconds = 0; ///< End-to-end wall time of the sweep.
   double SimNsTotal = 0;  ///< Sum of simulated total-ns over all points.
-  /// CPU seconds spent producing trace records during the sweep, summed
-  /// across worker threads (can exceed WallSeconds when parallel).
+  /// Seconds workers spent inside sweep points, summed per worker (up to
+  /// Jobs x WallSeconds when parallel).
+  double BusySeconds = 0;
+  /// Seconds spent producing trace records, summed per worker.
   double TraceGenSeconds = 0;
+  /// Seconds workers spent blocked inside the trace cache (waiting on
+  /// another worker's single-flight generation or a shard lock), summed
+  /// per worker.
+  double LockWaitSeconds = 0;
   uint64_t CacheHits = 0;   ///< Trace-cache hits during the sweep.
   uint64_t CacheMisses = 0; ///< Trace-cache misses during the sweep.
+  uint64_t StoreHits = 0;   ///< Points served from the result store.
+  uint64_t StoreMisses = 0; ///< Points simulated (store enabled but cold).
 
   double pointsPerSecond() const {
     return WallSeconds <= 0 ? 0.0 : double(Points) / WallSeconds;
@@ -64,11 +79,31 @@ struct SweepTelemetry {
     uint64_t Total = CacheHits + CacheMisses;
     return Total == 0 ? 0.0 : double(CacheHits) / double(Total);
   }
-  /// Wall time not attributable to trace generation (clamped at zero —
-  /// with parallel workers gen CPU-seconds can exceed wall time).
+
+  /// Wall seconds attributed to a phase occupying \p PhaseBusySeconds of
+  /// the workers' busy time: WallSeconds scaled by the phase's share.
+  double normalizedPhaseSeconds(double PhaseBusySeconds) const {
+    if (BusySeconds <= 0 || PhaseBusySeconds <= 0)
+      return 0.0;
+    double Share = PhaseBusySeconds / BusySeconds;
+    return WallSeconds * (Share > 1.0 ? 1.0 : Share);
+  }
+
+  /// Wall seconds attributed to trace generation (per-worker normalized).
+  double traceGenWallSeconds() const {
+    return normalizedPhaseSeconds(TraceGenSeconds);
+  }
+  /// Wall seconds attributed to cache blocking (per-worker normalized).
+  double lockWaitWallSeconds() const {
+    return normalizedPhaseSeconds(LockWaitSeconds);
+  }
+  /// Wall seconds attributed to simulation proper: the busy share that
+  /// is neither trace generation nor cache blocking. Serial sweeps reduce
+  /// to WallSeconds - gen - wait; parallel sweeps stay meaningful
+  /// instead of clamping to zero.
   double simulateSeconds() const {
-    return TraceGenSeconds >= WallSeconds ? 0.0
-                                          : WallSeconds - TraceGenSeconds;
+    return normalizedPhaseSeconds(BusySeconds - TraceGenSeconds -
+                                  LockWaitSeconds);
   }
 
   /// One human-readable summary line (no trailing newline).
@@ -88,6 +123,13 @@ public:
   /// Runs every point and returns results in submission order.
   std::vector<RunResult> run(const std::vector<SweepPoint> &Points);
 
+  /// Routes results through a content-addressed on-disk store rooted at
+  /// \p Dir (see core/ResultStore.h): completed points are persisted,
+  /// already-stored points are served without simulating. Overrides the
+  /// HETSIM_RESULT_STORE environment default; an empty \p Dir returns to
+  /// that default.
+  void setResultStoreDir(std::string Dir) { StoreDir = std::move(Dir); }
+
   /// Telemetry of the most recent run().
   const SweepTelemetry &telemetry() const { return Telemetry; }
 
@@ -102,6 +144,7 @@ public:
 private:
   unsigned Jobs;
   std::string JobsSource;
+  std::string StoreDir;
   SweepTelemetry Telemetry;
   std::vector<MetricsSnapshot> Metrics;
 };

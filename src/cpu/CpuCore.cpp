@@ -420,8 +420,8 @@ SegmentResult CpuCore::runWindowed(const BlockTrace &Block,
   BlockExpander Expander(Block);
   TraceBuffer Window;
   while (!Expander.done()) {
-    Expander.next(Window);
-    Pipe.runSpan(Window.records().data(), Window.size());
+    BlockExpander::Span Span = Expander.nextSpan(Window);
+    Pipe.runSpan(Span.Data, size_t(Span.Count));
   }
 
   assert(Pipe.LastRetire >= StartCycle && "time went backwards");

@@ -22,6 +22,7 @@
 
 #include "trace/KernelTraceGenerator.h"
 
+#include <atomic>
 #include <chrono>
 #include <memory>
 #include <mutex>
@@ -49,6 +50,19 @@ constexpr size_t ComputeWindowRecords = 4096;
 /// trace-gen vs simulate phases.
 uint64_t traceGenNanos();
 void addTraceGenNanos(uint64_t Nanos);
+
+/// The calling thread's share of traceGenNanos(). Per-worker sweep
+/// attribution diffs this instead of the global sum: on an oversubscribed
+/// host N workers' wall-clock scopes overlap, and summing them makes
+/// trace-gen appear to balloon with the job count.
+uint64_t threadTraceGenNanos();
+
+/// Byte budget for expansion-reuse buffers (see BlockTrace::
+/// enableExpansionReuse). HETSIM_EXPAND_REUSE_MB overrides; default 512.
+uint64_t expandReuseBudgetBytes();
+
+/// Bytes currently reserved against expandReuseBudgetBytes().
+uint64_t expandReuseBytesInUse();
 
 /// RAII accumulator for traceGenNanos().
 class TraceGenScope {
@@ -122,7 +136,37 @@ public:
   /// and cached for the lifetime of the block.
   const TraceBuffer &materialized() const;
 
+  ~BlockTrace();
+
+  /// Opts this block into expansion reuse: the *first* window expansion
+  /// tees its output into a full buffer (budget permitting), and every
+  /// later expander serves zero-copy spans from that buffer instead of
+  /// re-running the generator. The trace cache enables this on the blocks
+  /// it shares across sweep points; per-run throwaway blocks (cache
+  /// bypassed) stay windowed, since they are never expanded twice.
+  void enableExpansionReuse() const;
+
+  /// True when a full buffer exists that expanders can serve spans from.
+  bool expansionReuseReady() const {
+    return MatReady.load(std::memory_order_acquire);
+  }
+
 private:
+  friend class BlockExpander;
+
+  /// Claims the right to tee this block's first expansion. Reserves
+  /// Total*sizeof(TraceRecord) bytes against the process-wide budget;
+  /// returns false (and never retries the reservation) if the budget is
+  /// exhausted or another expander already claimed it.
+  bool claimTee() const;
+
+  /// Installs a teed buffer as the materialized stream and marks it ready.
+  void finishTee(std::unique_ptr<TraceBuffer> Teed) const;
+
+  /// Abandons an in-flight tee (expander destroyed before draining):
+  /// releases the reservation and reopens the claim for a later expander.
+  void abortTee() const;
+
   Kind K;
   KernelId Kernel = KernelId::Reduction;
   GenRequest Req;           ///< SerialGen reuses InstCount/Seed fields.
@@ -132,6 +176,10 @@ private:
 
   mutable std::once_flag MatOnce;
   mutable std::unique_ptr<TraceBuffer> Mat;
+  mutable std::atomic<bool> ReuseEnabled{false};
+  mutable std::atomic<bool> MatReady{false};
+  mutable std::atomic<int> TeeState{0}; ///< 0 open, 1 in flight, 2 done, 3 denied.
+  mutable std::atomic<uint64_t> ReservedBytes{0};
 };
 
 /// Streams a BlockTrace into caller-owned windows. The window boundary
@@ -142,6 +190,7 @@ private:
 class BlockExpander {
 public:
   explicit BlockExpander(const BlockTrace &Block);
+  ~BlockExpander();
 
   bool done() const { return Remaining == 0; }
   uint64_t remaining() const { return Remaining; }
@@ -150,11 +199,31 @@ public:
   /// Returns the number of records produced (0 only when done()).
   uint64_t next(TraceBuffer &Window, size_t Target = ComputeWindowRecords);
 
+  /// A run of expanded records. Points either into \p Window (generated
+  /// this call) or into the block's shared materialized buffer (reuse);
+  /// valid until the next call on this expander.
+  struct Span {
+    const TraceRecord *Data = nullptr;
+    uint64_t Count = 0;
+  };
+
+  /// Like next(), but zero-copy when the block's materialized stream is
+  /// available: serves the entire remainder as one span into the shared
+  /// buffer without touching \p Window or the generator.
+  Span nextSpan(TraceBuffer &Window, size_t Target = ComputeWindowRecords);
+
 private:
+  /// Appends a generated window to the in-flight tee buffer and installs
+  /// it on the block once the stream is drained.
+  void tee(const TraceBuffer &Window);
+
   const BlockTrace &Block;
   GenState S;
   uint64_t Remaining = 0;
   uint64_t PatPos = 0; ///< Pattern: global index into the logical stream.
+  bool FromMat = false;  ///< Serving from the shared materialized buffer.
+  uint64_t MatPos = 0;   ///< Cursor into that buffer.
+  std::unique_ptr<TraceBuffer> Tee; ///< Non-null while teeing this expansion.
 };
 
 } // namespace hetsim

@@ -35,6 +35,34 @@ const DataSegment *KernelDataLayout::segmentContaining(Addr Address) const {
   return nullptr;
 }
 
+namespace {
+
+uint64_t fnv1aBytes(uint64_t Hash, const void *Data, size_t Bytes) {
+  const auto *P = static_cast<const unsigned char *>(Data);
+  for (size_t I = 0; I != Bytes; ++I) {
+    Hash ^= P[I];
+    Hash *= 1099511628211ull;
+  }
+  return Hash;
+}
+
+uint64_t fnv1aWord(uint64_t Hash, uint64_t Value) {
+  return fnv1aBytes(Hash, &Value, sizeof(Value));
+}
+
+} // namespace
+
+uint64_t KernelDataLayout::fingerprint() const {
+  uint64_t Hash = 14695981039346656037ull;
+  for (const DataSegment &Segment : Segments) {
+    Hash = fnv1aBytes(Hash, Segment.Name.data(), Segment.Name.size());
+    Hash = fnv1aWord(Hash, Segment.Base);
+    Hash = fnv1aWord(Hash, Segment.Bytes);
+    Hash = fnv1aWord(Hash, static_cast<uint64_t>(Segment.Dir));
+  }
+  return Hash;
+}
+
 uint64_t KernelDataLayout::totalBytes() const {
   uint64_t Total = 0;
   for (const DataSegment &S : Segments)

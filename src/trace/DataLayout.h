@@ -64,6 +64,12 @@ public:
   static KernelDataLayout makeLinear(const std::vector<DataObjectSpec> &Objects,
                                      Addr Base, uint64_t Align = 4096);
 
+  /// FNV-1a fingerprint over everything the trace generators read from
+  /// this layout: segment order, names, placed addresses, sizes, and
+  /// transfer directions. Identical fingerprints mean identical generated
+  /// address streams; the trace cache and the result store both key on it.
+  uint64_t fingerprint() const;
+
 private:
   std::vector<DataSegment> Segments;
 };

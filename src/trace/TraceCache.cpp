@@ -2,8 +2,10 @@
 
 #include "trace/TraceCache.h"
 
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 
 using namespace hetsim;
 
@@ -23,20 +25,36 @@ uint64_t fnv1aU64(uint64_t Hash, uint64_t Value) {
   return fnv1a(Hash, &Value, sizeof(Value));
 }
 
-/// Fingerprints everything the generators read from a layout: segment
-/// order, names, placed addresses, sizes, and transfer directions.
-uint64_t layoutFingerprint(const KernelDataLayout &Layout) {
-  uint64_t Hash = 14695981039346656037ull;
-  for (const DataSegment &Segment : Layout.segments()) {
-    Hash = fnv1a(Hash, Segment.Name.data(), Segment.Name.size());
-    Hash = fnv1aU64(Hash, Segment.Base);
-    Hash = fnv1aU64(Hash, Segment.Bytes);
-    Hash = fnv1aU64(Hash, static_cast<uint64_t>(Segment.Dir));
+std::atomic<uint64_t> CacheWaitNanos{0};
+thread_local uint64_t TlCacheWaitNanos = 0;
+
+/// RAII accumulator for traceCacheWaitNanos(): times one blocking stretch
+/// (future wait or exclusive-lock acquisition) on the cold paths only —
+/// the shared-lock hit path is deliberately untimed.
+class WaitScope {
+public:
+  WaitScope() : Start(std::chrono::steady_clock::now()) {}
+  ~WaitScope() {
+    auto Nanos = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     std::chrono::steady_clock::now() - Start)
+                     .count();
+    CacheWaitNanos.fetch_add(uint64_t(Nanos), std::memory_order_relaxed);
+    TlCacheWaitNanos += uint64_t(Nanos);
   }
-  return Hash;
-}
+  WaitScope(const WaitScope &) = delete;
+  WaitScope &operator=(const WaitScope &) = delete;
+
+private:
+  std::chrono::steady_clock::time_point Start;
+};
 
 } // namespace
+
+uint64_t hetsim::traceCacheWaitNanos() {
+  return CacheWaitNanos.load(std::memory_order_relaxed);
+}
+
+uint64_t hetsim::threadTraceCacheWaitNanos() { return TlCacheWaitNanos; }
 
 size_t TraceCache::KeyHash::operator()(const Key &K) const {
   uint64_t Hash = 14695981039346656037ull;
@@ -59,47 +77,111 @@ TraceCache &TraceCache::global() {
   return Instance;
 }
 
-std::shared_ptr<const TraceBuffer>
+TraceCache::Shard &TraceCache::shardFor(const Key &K, size_t &HashOut) {
+  HashOut = KeyHash()(K);
+  static_assert((NumShards & (NumShards - 1)) == 0,
+                "shard selection needs a power of two");
+  return Shards[(HashOut >> 60) & (NumShards - 1)];
+}
+
+TraceCache::TracePtr
 TraceCache::getOrGenerate(const Key &K,
-                          const KernelTraceGenerator &Generator,
                           const std::function<TraceBuffer()> &Generate) {
-  unsigned GenIndex = static_cast<unsigned>(K.Kernel) % NumKernels;
   if (!Enabled) {
-    // Bypass mode still serializes generation: the static generators'
-    // cursor state is shared, cache or no cache.
-    std::lock_guard<std::mutex> Gen(GenMutex[GenIndex]);
-    (void)Generator;
+    // Bypass regenerates per request. Since PR 5 the generators are
+    // stateless (all cursor state lives in a caller-owned GenState), so
+    // concurrent bypass generation needs no serialization.
     return std::make_shared<const TraceBuffer>(Generate());
   }
 
+  size_t Hash;
+  Shard &S = shardFor(K, Hash);
+
+  // Hot path: a shared lock on this key's shard only.
+  std::shared_future<TracePtr> Flight;
   {
-    std::shared_lock<std::shared_mutex> Read(MapMutex);
-    auto It = Map.find(K);
-    if (It != Map.end()) {
-      Hits.fetch_add(1, std::memory_order_relaxed);
-      return It->second;
+    std::shared_lock<std::shared_mutex> Read(S.Mutex);
+    auto It = S.Map.find(K);
+    if (It != S.Map.end())
+      Flight = It->second;
+  }
+  if (Flight.valid()) {
+    Hits.fetch_add(1, std::memory_order_relaxed);
+    if (Flight.wait_for(std::chrono::seconds(0)) !=
+        std::future_status::ready) {
+      WaitScope Wait;
+      return Flight.get();
     }
+    return Flight.get();
   }
 
-  // Miss: take the kernel's generation lock, then re-check — another
-  // thread may have generated this key while we waited.
-  std::lock_guard<std::mutex> Gen(GenMutex[GenIndex]);
+  // Miss: install a single-flight slot for this key, or adopt the slot a
+  // concurrent requester installed first. Only the installer generates.
+  std::promise<TracePtr> Mine;
+  bool Installed = false;
   {
-    std::shared_lock<std::shared_mutex> Read(MapMutex);
-    auto It = Map.find(K);
-    if (It != Map.end()) {
-      Hits.fetch_add(1, std::memory_order_relaxed);
-      return It->second;
+    WaitScope Wait; // Exclusive-lock acquisition can block behind peers.
+    std::unique_lock<std::shared_mutex> Write(S.Mutex);
+    auto [It, Inserted] = S.Map.try_emplace(K);
+    if (Inserted) {
+      It->second = Mine.get_future().share();
+      Installed = true;
     }
+    Flight = It->second;
+  }
+  if (!Installed) {
+    Hits.fetch_add(1, std::memory_order_relaxed);
+    WaitScope Wait;
+    return Flight.get();
   }
 
-  auto Trace = std::make_shared<const TraceBuffer>(Generate());
-  Misses.fetch_add(1, std::memory_order_relaxed);
-  {
-    std::unique_lock<std::shared_mutex> Write(MapMutex);
-    Map.emplace(K, Trace);
+  try {
+    auto Trace = std::make_shared<const TraceBuffer>(Generate());
+    Misses.fetch_add(1, std::memory_order_relaxed);
+    Generations.fetch_add(1, std::memory_order_relaxed);
+    Mine.set_value(Trace);
+    return Trace;
+  } catch (...) {
+    // Failed generation must not wedge the key: drop the slot so a later
+    // request retries, and propagate the error to current waiters.
+    {
+      std::unique_lock<std::shared_mutex> Write(S.Mutex);
+      S.Map.erase(K);
+    }
+    Mine.set_exception(std::current_exception());
+    throw;
   }
-  return Trace;
+}
+
+SharedTrace
+TraceCache::getOrMakeBlock(const Key &K,
+                           const std::function<BlockPtr()> &Make) {
+  size_t Hash;
+  Shard &S = shardFor(K, Hash);
+  {
+    std::shared_lock<std::shared_mutex> Read(S.Mutex);
+    auto It = S.BlockMap.find(K);
+    if (It != S.BlockMap.end()) {
+      Hits.fetch_add(1, std::memory_order_relaxed);
+      return SharedTrace(It->second);
+    }
+  }
+  // Recipe construction is a cheap layout copy; build outside any lock
+  // and let the first inserter win. Losers adopt the winner's block, so
+  // the pointer handed out for a key is stable.
+  BlockPtr Block = Make();
+  WaitScope Wait;
+  std::unique_lock<std::shared_mutex> Write(S.Mutex);
+  auto [It, Inserted] = S.BlockMap.emplace(K, std::move(Block));
+  if (Inserted) {
+    Misses.fetch_add(1, std::memory_order_relaxed);
+    // Cached blocks are expanded once per sweep point that shares them:
+    // let the first expansion tee its output so the rest are zero-copy.
+    It->second->enableExpansionReuse();
+  } else {
+    Hits.fetch_add(1, std::memory_order_relaxed);
+  }
+  return SharedTrace(It->second);
 }
 
 std::shared_ptr<const TraceBuffer>
@@ -113,8 +195,8 @@ TraceCache::compute(KernelId Kernel, const GenRequest &Req,
   K.Split = static_cast<uint8_t>(Req.Split);
   K.InstCount = Req.InstCount;
   K.Seed = Req.Seed;
-  K.LayoutHash = layoutFingerprint(Layout);
-  return getOrGenerate(K, Generator, [&] {
+  K.LayoutHash = Layout.fingerprint();
+  return getOrGenerate(K, [&] {
     return Generator.generateCompute(Req, Layout);
   });
 }
@@ -130,8 +212,8 @@ TraceCache::serial(KernelId Kernel, uint64_t InstCount,
   K.Split = 0;
   K.InstCount = InstCount;
   K.Seed = Seed;
-  K.LayoutHash = layoutFingerprint(Layout);
-  return getOrGenerate(K, Generator, [&] {
+  K.LayoutHash = Layout.fingerprint();
+  return getOrGenerate(K, [&] {
     return Generator.generateSerial(InstCount, Layout, Seed);
   });
 }
@@ -149,23 +231,10 @@ SharedTrace TraceCache::computeShared(KernelId Kernel, const GenRequest &Req,
   K.Split = static_cast<uint8_t>(Req.Split);
   K.InstCount = Req.InstCount;
   K.Seed = Req.Seed;
-  K.LayoutHash = layoutFingerprint(Layout);
-  {
-    std::shared_lock<std::shared_mutex> Read(MapMutex);
-    auto It = BlockMap.find(K);
-    if (It != BlockMap.end()) {
-      Hits.fetch_add(1, std::memory_order_relaxed);
-      return SharedTrace(It->second);
-    }
-  }
-  auto Block = std::make_shared<const BlockTrace>(Kernel, Req, Layout);
-  std::unique_lock<std::shared_mutex> Write(MapMutex);
-  auto [It, Inserted] = BlockMap.emplace(K, std::move(Block));
-  if (Inserted)
-    Misses.fetch_add(1, std::memory_order_relaxed);
-  else
-    Hits.fetch_add(1, std::memory_order_relaxed);
-  return SharedTrace(It->second);
+  K.LayoutHash = Layout.fingerprint();
+  return getOrMakeBlock(K, [&] {
+    return std::make_shared<const BlockTrace>(Kernel, Req, Layout);
+  });
 }
 
 SharedTrace TraceCache::serialShared(KernelId Kernel, uint64_t InstCount,
@@ -182,24 +251,11 @@ SharedTrace TraceCache::serialShared(KernelId Kernel, uint64_t InstCount,
   K.Split = 0;
   K.InstCount = InstCount;
   K.Seed = Seed;
-  K.LayoutHash = layoutFingerprint(Layout);
-  {
-    std::shared_lock<std::shared_mutex> Read(MapMutex);
-    auto It = BlockMap.find(K);
-    if (It != BlockMap.end()) {
-      Hits.fetch_add(1, std::memory_order_relaxed);
-      return SharedTrace(It->second);
-    }
-  }
-  auto Block =
-      std::make_shared<const BlockTrace>(Kernel, InstCount, Seed, Layout);
-  std::unique_lock<std::shared_mutex> Write(MapMutex);
-  auto [It, Inserted] = BlockMap.emplace(K, std::move(Block));
-  if (Inserted)
-    Misses.fetch_add(1, std::memory_order_relaxed);
-  else
-    Hits.fetch_add(1, std::memory_order_relaxed);
-  return SharedTrace(It->second);
+  K.LayoutHash = Layout.fingerprint();
+  return getOrMakeBlock(K, [&] {
+    return std::make_shared<const BlockTrace>(Kernel, InstCount, Seed,
+                                              Layout);
+  });
 }
 
 TraceCacheStats TraceCache::stats() const {
@@ -209,22 +265,34 @@ TraceCacheStats TraceCache::stats() const {
   return S;
 }
 
+uint64_t TraceCache::generations() const {
+  return Generations.load(std::memory_order_relaxed);
+}
+
 void TraceCache::publishStats(StatRegistry &Registry) const {
   Registry.counterRef("trace_cache.hits") =
       Hits.load(std::memory_order_relaxed);
   Registry.counterRef("trace_cache.misses") =
       Misses.load(std::memory_order_relaxed);
+  Registry.counterRef("trace_cache.wait_ns") = traceCacheWaitNanos();
 }
 
 void TraceCache::clear() {
-  std::unique_lock<std::shared_mutex> Write(MapMutex);
-  Map.clear();
-  BlockMap.clear();
+  for (Shard &S : Shards) {
+    std::unique_lock<std::shared_mutex> Write(S.Mutex);
+    S.Map.clear();
+    S.BlockMap.clear();
+  }
   Hits.store(0, std::memory_order_relaxed);
   Misses.store(0, std::memory_order_relaxed);
+  Generations.store(0, std::memory_order_relaxed);
 }
 
 size_t TraceCache::entryCount() const {
-  std::shared_lock<std::shared_mutex> Read(MapMutex);
-  return Map.size() + BlockMap.size();
+  size_t Count = 0;
+  for (const Shard &S : Shards) {
+    std::shared_lock<std::shared_mutex> Read(S.Mutex);
+    Count += S.Map.size() + S.BlockMap.size();
+  }
+  return Count;
 }

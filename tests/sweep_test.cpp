@@ -110,16 +110,74 @@ TEST(SweepRunner, TelemetryMergeAccumulates) {
   A.Points = 3;
   A.WallSeconds = 1.5;
   A.CacheHits = 4;
+  A.BusySeconds = 1.25;
+  A.LockWaitSeconds = 0.25;
+  A.StoreHits = 2;
   B.Jobs = 4;
   B.Points = 7;
   B.WallSeconds = 0.5;
   B.CacheMisses = 6;
+  B.BusySeconds = 0.75;
+  B.LockWaitSeconds = 0.05;
+  B.StoreMisses = 5;
   A.merge(B);
   EXPECT_EQ(A.Jobs, 4u);
   EXPECT_EQ(A.Points, 10u);
   EXPECT_DOUBLE_EQ(A.WallSeconds, 2.0);
   EXPECT_EQ(A.CacheHits, 4u);
   EXPECT_EQ(A.CacheMisses, 6u);
+  EXPECT_DOUBLE_EQ(A.BusySeconds, 2.0);
+  EXPECT_DOUBLE_EQ(A.LockWaitSeconds, 0.3);
+  EXPECT_EQ(A.StoreHits, 2u);
+  EXPECT_EQ(A.StoreMisses, 5u);
+}
+
+TEST(SweepRunner, PhaseSecondsNormalizePerWorker) {
+  // The old formula (wall - gen, clamped at 0) reported simulate=0 the
+  // moment summed per-thread gen time exceeded the wall clock — exactly
+  // what happens on an oversubscribed host. The normalized form scales
+  // phase shares of busy time into wall seconds instead.
+  SweepTelemetry T;
+  T.WallSeconds = 1.0;
+  T.BusySeconds = 4.0; // 4 workers, fully busy.
+  T.TraceGenSeconds = 3.0;
+  T.LockWaitSeconds = 0.5;
+  EXPECT_DOUBLE_EQ(T.traceGenWallSeconds(), 0.75);
+  EXPECT_DOUBLE_EQ(T.lockWaitWallSeconds(), 0.125);
+  EXPECT_DOUBLE_EQ(T.simulateSeconds(), 0.125);
+  // Serial reduction: busy == wall, so the phases are plain seconds.
+  SweepTelemetry S;
+  S.WallSeconds = 2.0;
+  S.BusySeconds = 2.0;
+  S.TraceGenSeconds = 0.5;
+  EXPECT_DOUBLE_EQ(S.traceGenWallSeconds(), 0.5);
+  EXPECT_DOUBLE_EQ(S.simulateSeconds(), 1.5);
+  // A phase share can never exceed the wall clock.
+  SweepTelemetry O;
+  O.WallSeconds = 1.0;
+  O.BusySeconds = 2.0;
+  O.TraceGenSeconds = 3.0; // inconsistent input: clamp to wall, not 0.
+  EXPECT_DOUBLE_EQ(O.traceGenWallSeconds(), 1.0);
+  EXPECT_DOUBLE_EQ(O.simulateSeconds(), 0.0);
+}
+
+TEST(SweepRunner, TelemetryAttributesBusyAndSimulateTime) {
+  std::vector<SweepPoint> Points = smallGrid();
+  SweepRunner Runner(2);
+  Runner.run(Points);
+  const SweepTelemetry &T = Runner.telemetry();
+  EXPECT_GT(T.BusySeconds, 0.0);
+  // The simulate share must survive parallel gen attribution (the
+  // clamp-to-0 regression), and the three phases partition the wall.
+  EXPECT_GT(T.simulateSeconds(), 0.0);
+  EXPECT_LE(T.traceGenWallSeconds() + T.lockWaitWallSeconds() +
+                T.simulateSeconds(),
+            T.WallSeconds * 1.0001);
+  EXPECT_GE(T.TraceGenSeconds, 0.0);
+  EXPECT_GE(T.LockWaitSeconds, 0.0);
+  // No result store configured: counters stay zero.
+  EXPECT_EQ(T.StoreHits, 0u);
+  EXPECT_EQ(T.StoreMisses, 0u);
 }
 
 TEST(SweepRunner, AppendBenchTimingWritesJsonLine) {
@@ -146,6 +204,13 @@ TEST(SweepRunner, AppendBenchTimingWritesJsonLine) {
   EXPECT_NE(Line.find("\"wall_s\":"), std::string::npos) << Line;
   EXPECT_NE(Line.find("\"points_per_s\":"), std::string::npos) << Line;
   EXPECT_NE(Line.find("\"cache_hit_rate\":"), std::string::npos) << Line;
+  // Schema evolution: the new keys append after "simulate_s" so existing
+  // line parsers keep matching the prefix.
+  EXPECT_NE(Line.find("\"lock_wait_s\":"), std::string::npos) << Line;
+  EXPECT_NE(Line.find("\"store_hits\":"), std::string::npos) << Line;
+  EXPECT_NE(Line.find("\"store_misses\":"), std::string::npos) << Line;
+  EXPECT_LT(Line.find("\"simulate_s\":"), Line.find("\"lock_wait_s\":"))
+      << Line;
   std::remove(Path.c_str());
 }
 

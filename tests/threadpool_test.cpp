@@ -153,4 +153,91 @@ TEST(ThreadPool, ReusedAcrossManyCalls) {
   }
 }
 
+// Work-stealing dispatch: parallelForWorkers must cover every index
+// exactly once at any (N, jobs) shape, hand each share a stable worker id
+// in [0, min(N, jobs)), and survive pathologically skewed work without
+// losing indices to a premature steal-loop exit.
+
+TEST(ThreadPool, WorkersCoverEveryIndexExactlyOnce) {
+  const size_t N = 501;
+  ThreadPool Pool(4);
+  std::vector<std::atomic<int>> Counts(N);
+  std::atomic<unsigned> MaxWorker{0};
+  Pool.parallelForWorkers(N, [&](size_t I, unsigned Worker) {
+    Counts[I].fetch_add(1);
+    unsigned Seen = MaxWorker.load();
+    while (Worker > Seen && !MaxWorker.compare_exchange_weak(Seen, Worker)) {
+    }
+  });
+  for (size_t I = 0; I != N; ++I)
+    EXPECT_EQ(Counts[I].load(), 1) << "index " << I;
+  EXPECT_LT(MaxWorker.load(), 4u);
+}
+
+TEST(ThreadPool, WorkersSingleJobRunsInlineAsWorkerZero) {
+  ThreadPool Pool(1);
+  std::vector<size_t> Order;
+  Pool.parallelForWorkers(16, [&](size_t I, unsigned Worker) {
+    EXPECT_EQ(Worker, 0u);
+    Order.push_back(I);
+  });
+  ASSERT_EQ(Order.size(), 16u);
+  for (size_t I = 0; I != Order.size(); ++I)
+    EXPECT_EQ(Order[I], I);
+}
+
+TEST(ThreadPool, WorkersIdBoundedByIterationCount) {
+  // 3 indices on an 8-thread pool: only min(N, jobs) shares exist.
+  ThreadPool Pool(8);
+  std::vector<std::atomic<int>> Counts(3);
+  Pool.parallelForWorkers(3, [&](size_t I, unsigned Worker) {
+    EXPECT_LT(Worker, 3u);
+    Counts[I].fetch_add(1);
+  });
+  for (auto &Count : Counts)
+    EXPECT_EQ(Count.load(), 1);
+}
+
+TEST(ThreadPool, WorkersStealFromSkewedRanges) {
+  // One index is ~1000x heavier than the rest; the other workers must
+  // steal the slow owner's remaining range instead of idling, and every
+  // index still runs exactly once.
+  const size_t N = 256;
+  ThreadPool Pool(4);
+  std::vector<std::atomic<int>> Counts(N);
+  Pool.parallelForWorkers(N, [&](size_t I, unsigned) {
+    if (I == 0) {
+      volatile uint64_t Spin = 0;
+      for (uint64_t J = 0; J != 2000000; ++J)
+        Spin += J;
+    }
+    Counts[I].fetch_add(1);
+  });
+  for (size_t I = 0; I != N; ++I)
+    EXPECT_EQ(Counts[I].load(), 1) << "index " << I;
+}
+
+TEST(ThreadPool, WorkersZeroIterationsRunNothing) {
+  ThreadPool Pool(4);
+  std::atomic<int> Calls{0};
+  Pool.parallelForWorkers(0, [&](size_t, unsigned) { Calls.fetch_add(1); });
+  EXPECT_EQ(Calls.load(), 0);
+}
+
+TEST(ThreadPool, WorkersExceptionPropagatesAndPoolSurvives) {
+  ThreadPool Pool(4);
+  EXPECT_THROW(Pool.parallelForWorkers(
+                   64,
+                   [](size_t I, unsigned) {
+                     if (I == 17)
+                       throw std::runtime_error("boom");
+                   }),
+               std::runtime_error);
+  std::atomic<size_t> Sum{0};
+  Pool.parallelForWorkers(100, [&](size_t I, unsigned) {
+    Sum.fetch_add(I + 1);
+  });
+  EXPECT_EQ(Sum.load(), 5050u);
+}
+
 } // namespace

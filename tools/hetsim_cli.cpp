@@ -22,6 +22,7 @@
 #include "obs/Phase.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -41,8 +42,11 @@ int usage() {
       "  hetsim extra --system <name> --workload <name> [--elements N]\n"
       "  hetsim table <1|2|3|4|5>\n"
       "  hetsim sweep --system <name> --kernel <name> --key <config-key>\n"
-      "         --values v1,v2,... [key=value ...]\n"
-      "systems: CPU+GPU LRB GMAC Fusion IDEAL-HETERO UNI PAS DIS ADSM\n");
+      "         --values v1,v2,... [--resume] [--store <dir>] [key=value ...]\n"
+      "systems: CPU+GPU LRB GMAC Fusion IDEAL-HETERO UNI PAS DIS ADSM\n"
+      "--resume serves already-completed sweep points from the on-disk\n"
+      "result store (default out/result-store, or --store / "
+      "$HETSIM_RESULT_STORE)\n");
   return 2;
 }
 
@@ -198,6 +202,8 @@ struct ParsedArgs {
   ConfigStore Overrides;
   bool DumpStats = false;
   std::string MetricsPath;
+  bool Resume = false;
+  std::string StoreDir;
   bool Ok = true;
 };
 
@@ -234,6 +240,10 @@ ParsedArgs parseArgs(int Argc, char **Argv, int Start) {
       Args.DumpStats = true;
     } else if (Arg == "--metrics") {
       TakeValue(Args.MetricsPath);
+    } else if (Arg == "--resume") {
+      Args.Resume = true;
+    } else if (Arg == "--store") {
+      TakeValue(Args.StoreDir);
     } else if (Arg == "--key") {
       TakeValue(Args.SweepKey);
     } else if (Arg == "--values") {
@@ -360,6 +370,19 @@ int main(int Argc, char **Argv) {
       Points.emplace_back(std::move(Config), Kernel);
     }
     SweepRunner Runner;
+    // --store names the result-store root explicitly; bare --resume
+    // falls back to $HETSIM_RESULT_STORE, then out/result-store. Either
+    // flag makes the sweep resumable: completed points are persisted,
+    // and a re-run serves them without simulating.
+    if (Args.Resume || !Args.StoreDir.empty()) {
+      std::string Dir = Args.StoreDir;
+      if (Dir.empty())
+        if (const char *Env = std::getenv("HETSIM_RESULT_STORE"))
+          Dir = Env;
+      if (Dir.empty())
+        Dir = "out/result-store";
+      Runner.setResultStoreDir(Dir);
+    }
     std::vector<RunResult> Results = Runner.run(Points);
     std::printf("%-16s %12s %12s %12s\n", Args.SweepKey.c_str(), "total_us",
                 "comm_us", "comm_frac");
@@ -369,6 +392,12 @@ int main(int Argc, char **Argv) {
                   Results[I].Time.totalNs() / 1e3,
                   Results[I].Time.CommunicationNs / 1e3,
                   100.0 * Results[I].Time.commFraction());
+    const SweepTelemetry &T = Runner.telemetry();
+    if (T.StoreHits + T.StoreMisses != 0)
+      std::fprintf(stderr,
+                   "result store: %llu served, %llu simulated\n",
+                   (unsigned long long)T.StoreHits,
+                   (unsigned long long)T.StoreMisses);
     return 0;
   }
 
