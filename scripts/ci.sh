@@ -2,9 +2,12 @@
 # The full CI gate, in dependency order:
 #   1. tier-1: default build + complete ctest suite (unit label first, so
 #      a broken build fails in seconds instead of after the sweeps)
-#   2. sanitizers: AddressSanitizer and UBSan builds + complete ctest suite
-#   3. static analysis: scripts/lint.sh (clang-tidy if installed, plus the
-#      hetsim_lint memory-model linter over the shipped design space)
+#   2. sanitizers: AddressSanitizer and UBSan builds + complete ctest
+#      suite, plus a ThreadSanitizer build running the concurrency suites
+#      (thread pool, trace cache, sweep runner, result store)
+#   3. static analysis: scripts/lint.sh (clang-tidy against the pinned
+#      baseline, plus the hetsim_lint memory-model linter over the shipped
+#      design space), then the differential race-verifier fuzz gate
 #   4. metrics smoke: one run must emit schema-valid, conservation-clean
 #      metrics plus a Chrome trace file
 #   5. golden diff + paper fidelity: regenerate every checked artifact and
@@ -18,6 +21,7 @@
 #   HETSIM_JOBS       worker threads per sweep (default: all cores)
 #   HETSIM_SKIP_ASAN  set to 1 to skip the ASan leg of gate 2
 #   HETSIM_SKIP_UBSAN set to 1 to skip the UBSan leg of gate 2
+#   HETSIM_SKIP_TSAN  set to 1 to skip the TSan leg of gate 2
 set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 4)"
@@ -68,8 +72,29 @@ else
   echo "== gate 2: UBSan skipped (HETSIM_SKIP_UBSAN=1) =="
 fi
 
+if [ "${HETSIM_SKIP_TSAN:-0}" != "1" ]; then
+  echo "== gate 2: ThreadSanitizer build + concurrency tests =="
+  # Only the concurrency-heavy suites: everything else is single-threaded
+  # and already covered by ASan/UBSan, and a full TSan ctest run would
+  # triple the gate's wall clock for no extra coverage.
+  cmake -B build-tsan -S . -DHETSIM_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "$JOBS" --target trace_cache_stress_test \
+    threadpool_test sweep_test result_store_test >/dev/null
+  ctest --test-dir build-tsan \
+    -R 'TraceCache|ThreadPool|SweepRunner|ResultStore|Determinism' \
+    --output-on-failure -j "$JOBS" | tail -3
+else
+  echo "== gate 2: TSan skipped (HETSIM_SKIP_TSAN=1) =="
+fi
+
 echo "== gate 3: static analysis =="
 scripts/lint.sh build
+
+echo "== gate 3b: differential race-verifier fuzz =="
+# 1000 seeded mutation cases: every constructed ordering bug must be
+# flagged with a structurally valid witness, and every verifier-clean
+# program must replay race-free on every explored dynamic schedule.
+build/tools/hetsim_lint --fuzz 1000 --seed 7
 
 echo "== gate 4: metrics smoke =="
 # One sweep point must emit a schema-valid metrics document that passes

@@ -6,6 +6,18 @@
 
 using namespace hetsim;
 
+const char *hetsim::hbLaneName(HbLane Lane) {
+  switch (Lane) {
+  case HbLane::Cpu:
+    return "cpu";
+  case HbLane::Gpu:
+    return "gpu";
+  case HbLane::Dma:
+    return "dma";
+  }
+  return "unknown";
+}
+
 const char *hetsim::hbEdgeKindName(HbEdgeKind Kind) {
   switch (Kind) {
   case HbEdgeKind::DriverOrder:
@@ -18,8 +30,21 @@ const char *hetsim::hbEdgeKindName(HbEdgeKind Kind) {
     return "lazy-pull";
   case HbEdgeKind::ReleaseAcquire:
     return "release-acquire";
+  case HbEdgeKind::KernelLaunch:
+    return "kernel-launch";
+  case HbEdgeKind::KernelJoin:
+    return "kernel-join";
+  case HbEdgeKind::AgentFork:
+    return "agent-fork";
+  case HbEdgeKind::AgentJoin:
+    return "agent-join";
   }
   return "unknown";
+}
+
+size_t HbGraph::addNode(const HbNode &Node) {
+  Nodes.push_back(Node);
+  return Nodes.size() - 1;
 }
 
 void HbGraph::addEdge(size_t From, size_t To, HbEdgeKind Kind) {
@@ -42,7 +67,7 @@ HbGraph HbGraph::build(const LoweredProgram &Program,
   for (size_t I = 0; I != Steps.size(); ++I) {
     if (Steps[I].Kind == ExecKind::Transfer && Steps[I].Async) {
       G.StepToDma[I] = G.Nodes.size();
-      G.Nodes.push_back({HbNodeKind::DmaCompletion, I});
+      G.Nodes.push_back({HbNodeKind::DmaCompletion, I, 0, HbLane::Dma});
     }
   }
   size_t End = G.Nodes.size();
@@ -107,25 +132,30 @@ HbGraph HbGraph::build(const LoweredProgram &Program,
     }
   }
 
-  G.computeReachability();
+  G.finalize();
   return G;
 }
 
-void HbGraph::computeReachability() {
+void HbGraph::computeRelation(std::vector<std::vector<uint64_t>> &Rel,
+                              bool IncludeLaunchJoin) const {
   size_t N = Nodes.size();
   size_t Words = (N + 63) / 64;
-  Reach.assign(N, std::vector<uint64_t>(Words, 0));
+  Rel.assign(N, std::vector<uint64_t>(Words, 0));
   std::vector<std::vector<size_t>> Succ(N);
-  for (const HbEdge &E : Edges)
+  for (const HbEdge &E : Edges) {
+    if (!IncludeLaunchJoin && (E.Kind == HbEdgeKind::KernelLaunch ||
+                               E.Kind == HbEdgeKind::KernelJoin))
+      continue;
     Succ[E.From].push_back(E.To);
-  // Nodes were appended in a near-topological order (Start, steps, DMA
-  // completions, End), but DMA edges can point both ways across the
-  // numbering, so iterate to a fixed point (graphs are tiny).
+  }
+  // Nodes are appended in a near-topological order, but cross-lane edges
+  // can point both ways across the numbering, so iterate to a fixed
+  // point (graphs are tiny).
   bool Changed = true;
   while (Changed) {
     Changed = false;
     for (size_t F = N; F-- != 0;) {
-      std::vector<uint64_t> &Row = Reach[F];
+      std::vector<uint64_t> &Row = Rel[F];
       for (size_t T : Succ[F]) {
         uint64_t &Word = Row[T / 64];
         uint64_t Bit = uint64_t(1) << (T % 64);
@@ -133,7 +163,7 @@ void HbGraph::computeReachability() {
           Word |= Bit;
           Changed = true;
         }
-        const std::vector<uint64_t> &Sub = Reach[T];
+        const std::vector<uint64_t> &Sub = Rel[T];
         for (size_t W = 0; W != Sub.size(); ++W) {
           uint64_t Merged = Row[W] | Sub[W];
           if (Merged != Row[W]) {
@@ -144,6 +174,11 @@ void HbGraph::computeReachability() {
       }
     }
   }
+}
+
+void HbGraph::finalize() {
+  computeRelation(Reach, /*IncludeLaunchJoin=*/true);
+  computeRelation(ScopedReach, /*IncludeLaunchJoin=*/false);
 }
 
 size_t HbGraph::stepNode(size_t StepIndex) const {
@@ -158,6 +193,66 @@ bool HbGraph::reaches(size_t From, size_t To) const {
   if (From >= Nodes.size() || To >= Nodes.size())
     return false;
   return (Reach[From][To / 64] >> (To % 64)) & 1;
+}
+
+bool HbGraph::reachesScoped(size_t From, size_t To) const {
+  if (From >= Nodes.size() || To >= Nodes.size())
+    return false;
+  return (ScopedReach[From][To / 64] >> (To % 64)) & 1;
+}
+
+bool HbGraph::hasCycle() const {
+  // Kahn's algorithm: a cycle leaves nodes with nonzero in-degree.
+  size_t N = Nodes.size();
+  std::vector<size_t> InDegree(N, 0);
+  std::vector<std::vector<size_t>> Succ(N);
+  for (const HbEdge &E : Edges) {
+    if (E.From >= N || E.To >= N)
+      continue;
+    Succ[E.From].push_back(E.To);
+    ++InDegree[E.To];
+  }
+  std::vector<size_t> Queue;
+  for (size_t I = 0; I != N; ++I)
+    if (InDegree[I] == 0)
+      Queue.push_back(I);
+  size_t Popped = 0;
+  while (!Queue.empty()) {
+    size_t Node = Queue.back();
+    Queue.pop_back();
+    ++Popped;
+    for (size_t T : Succ[Node])
+      if (--InDegree[T] == 0)
+        Queue.push_back(T);
+  }
+  return Popped != N;
+}
+
+std::vector<HbEdge> HbGraph::transitiveReduction() const {
+  // An edge u->v is redundant when some other successor w of u already
+  // reaches v (including via a parallel duplicate): removing it keeps
+  // reachability intact. On a DAG this yields the unique minimal graph.
+  std::vector<HbEdge> Kept;
+  for (size_t I = 0; I != Edges.size(); ++I) {
+    const HbEdge &E = Edges[I];
+    if (E.From == E.To)
+      continue;
+    bool Redundant = false;
+    for (size_t J = 0; J != Edges.size() && !Redundant; ++J) {
+      if (J == I || Edges[J].From != E.From)
+        continue;
+      size_t W = Edges[J].To;
+      if (W == E.To) {
+        // Parallel duplicate: keep only the first occurrence.
+        Redundant = J < I;
+        continue;
+      }
+      Redundant = W != E.From && reaches(W, E.To);
+    }
+    if (!Redundant)
+      Kept.push_back(E);
+  }
+  return Kept;
 }
 
 std::vector<size_t> HbGraph::undrainedTransfers() const {
@@ -178,6 +273,8 @@ std::string HbGraph::renderDot(const LoweredProgram &Program) const {
   for (size_t I = 0; I != Nodes.size(); ++I) {
     const HbNode &Node = Nodes[I];
     Os << "  n" << I << " [label=\"";
+    if (Node.Agent != 0)
+      Os << "a" << Node.Agent << " ";
     switch (Node.Kind) {
     case HbNodeKind::Start:
       Os << "start";
@@ -186,8 +283,15 @@ std::string HbGraph::renderDot(const LoweredProgram &Program) const {
       Os << "end";
       break;
     case HbNodeKind::Step:
-      Os << "s" << Node.StepIndex << ": "
-         << execKindName(Program.Steps[Node.StepIndex].Kind);
+      Os << "s" << Node.StepIndex;
+      if (Node.StepIndex < Program.Steps.size())
+        Os << ": " << execKindName(Program.Steps[Node.StepIndex].Kind);
+      break;
+    case HbNodeKind::GpuRound:
+      Os << "s" << Node.StepIndex << " gpu round";
+      break;
+    case HbNodeKind::Join:
+      Os << "s" << Node.StepIndex << " join";
       break;
     case HbNodeKind::DmaCompletion:
       Os << "dma s" << Node.StepIndex << " done";

@@ -1,0 +1,389 @@
+//===- analysis/LintFuzzer.cpp --------------------------------------------===//
+
+#include "analysis/LintFuzzer.h"
+
+#include "analysis/ProgramLinter.h"
+#include "common/Error.h"
+#include "common/Random.h"
+#include "core/ConsistencyValidation.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace hetsim;
+
+const char *hetsim::mutationKindName(MutationKind Kind) {
+  switch (Kind) {
+  case MutationKind::None:
+    return "none";
+  case MutationKind::DropDmaWait:
+    return "drop-dma-wait";
+  case MutationKind::DropOwnershipToGpu:
+    return "drop-ownership-to-gpu";
+  case MutationKind::DropOwnershipToCpu:
+    return "drop-ownership-to-cpu";
+  case MutationKind::MakeTransferAsync:
+    return "make-transfer-async";
+  case MutationKind::DropTransfer:
+    return "drop-transfer";
+  case MutationKind::DuplicateTransfer:
+    return "duplicate-transfer";
+  case MutationKind::ShareOutputAcrossAgents:
+    return "share-output-across-agents";
+  }
+  hetsim_unreachable("unknown MutationKind");
+}
+
+const char *hetsim::expectedVerdictName(ExpectedVerdict Verdict) {
+  switch (Verdict) {
+  case ExpectedVerdict::Clean:
+    return "clean";
+  case ExpectedVerdict::RaceInjected:
+    return "race-injected";
+  case ExpectedVerdict::LintExpected:
+    return "lint-expected";
+  case ExpectedVerdict::Benign:
+    return "benign";
+  }
+  hetsim_unreachable("unknown ExpectedVerdict");
+}
+
+std::string FuzzCase::describe() const {
+  std::ostringstream Os;
+  Os << "case " << Index << ": " << System << " /";
+  for (KernelId Kernel : Kernels)
+    Os << " " << kernelName(Kernel);
+  Os << ", " << mutationKindName(Mutation);
+  if (MutatedStep != size_t(-1))
+    Os << " at a" << MutatedAgent << " step " << MutatedStep;
+  Os << " (expect " << expectedVerdictName(Expected) << ")";
+  return Os.str();
+}
+
+namespace {
+
+/// The nine shipped system configurations (five case studies plus the
+/// four Figure 7 address-space studies).
+std::vector<SystemConfig> shippedSystems() {
+  std::vector<SystemConfig> Systems;
+  for (CaseStudy Study : allCaseStudies())
+    Systems.push_back(SystemConfig::forCaseStudy(Study));
+  const AddressSpaceKind Spaces[] = {
+      AddressSpaceKind::Unified, AddressSpaceKind::PartiallyShared,
+      AddressSpaceKind::Disjoint, AddressSpaceKind::Adsm};
+  for (AddressSpaceKind Space : Spaces)
+    Systems.push_back(SystemConfig::forAddressSpaceStudy(Space));
+  return Systems;
+}
+
+/// Step indices of \p Kind in \p Steps.
+std::vector<size_t> stepsOfKind(const std::vector<ExecStep> &Steps,
+                                ExecKind Kind) {
+  std::vector<size_t> Indices;
+  for (size_t I = 0; I != Steps.size(); ++I)
+    if (Steps[I].Kind == Kind)
+      Indices.push_back(I);
+  return Indices;
+}
+
+/// True when a drain point (dma-wait, kernel launch, or — under a lazy
+/// serial-pull runtime — a serial consumer) exists at or after \p From.
+bool drainedAfter(const std::vector<ExecStep> &Steps, size_t From,
+                  bool LazySerialPull) {
+  for (size_t I = From; I < Steps.size(); ++I) {
+    if (Steps[I].Kind == ExecKind::DmaWait ||
+        Steps[I].Kind == ExecKind::ParallelCompute)
+      return true;
+    if (LazySerialPull && Steps[I].Kind == ExecKind::SerialCompute)
+      return true;
+  }
+  return false;
+}
+
+/// True when some asynchronous copy in \p Steps has no drain point after
+/// its issue: the engine may still be busy when its data is observed.
+bool anyUndrained(const std::vector<ExecStep> &Steps, bool LazySerialPull) {
+  for (size_t I = 0; I != Steps.size(); ++I)
+    if (Steps[I].Kind == ExecKind::Transfer && Steps[I].Async &&
+        !drainedAfter(Steps, I + 1, LazySerialPull))
+      return true;
+  return false;
+}
+
+/// First device-to-host object of \p Kernel (every kernel has one).
+std::string firstOutput(KernelId Kernel) {
+  for (const DataObjectSpec &Spec : kernelDataObjects(Kernel))
+    if (Spec.Dir == TransferDir::DeviceToHost)
+      return Spec.Name;
+  return "";
+}
+
+/// One generated case: the mutated co-run plus its classification.
+struct GeneratedCase {
+  FuzzCase Info;
+  CorunProgram Corun;
+};
+
+/// Applies one randomly chosen applicable mutation to a fresh lowering
+/// of (\p Config, \p Kernel). \p Rng drives every choice.
+GeneratedCase generateCase(size_t Index, const SystemConfig &Config,
+                           KernelId Kernel, XorShiftRng &Rng) {
+  GeneratedCase Out;
+  Out.Info.Index = Index;
+  Out.Info.System = Config.Name;
+  Out.Info.Kernels = {Kernel};
+
+  LoweredProgram Program = lowerKernel(Kernel, Config);
+  FenceSemantics Sem =
+      fenceSemanticsFor(Config, ConsistencyModel::Weak);
+  std::vector<ExecStep> &Steps = Program.Steps;
+
+  // Which mutations apply to this lowering?
+  std::vector<MutationKind> Applicable = {
+      MutationKind::None, MutationKind::ShareOutputAcrossAgents};
+  std::vector<size_t> Waits = stepsOfKind(Steps, ExecKind::DmaWait);
+  std::vector<size_t> ToGpu = stepsOfKind(Steps, ExecKind::OwnershipToGpu);
+  std::vector<size_t> ToCpu = stepsOfKind(Steps, ExecKind::OwnershipToCpu);
+  std::vector<size_t> Transfers = stepsOfKind(Steps, ExecKind::Transfer);
+  std::vector<size_t> SyncReadbacks;
+  for (size_t I : Transfers)
+    if (!Steps[I].Async && Steps[I].Dir == TransferDir::DeviceToHost)
+      SyncReadbacks.push_back(I);
+  if (!Waits.empty())
+    Applicable.push_back(MutationKind::DropDmaWait);
+  if (!ToGpu.empty())
+    Applicable.push_back(MutationKind::DropOwnershipToGpu);
+  if (!ToCpu.empty())
+    Applicable.push_back(MutationKind::DropOwnershipToCpu);
+  if (!SyncReadbacks.empty())
+    Applicable.push_back(MutationKind::MakeTransferAsync);
+  if (!Transfers.empty()) {
+    Applicable.push_back(MutationKind::DropTransfer);
+    Applicable.push_back(MutationKind::DuplicateTransfer);
+  }
+
+  MutationKind Kind = Applicable[Rng.nextBelow(Applicable.size())];
+  Out.Info.Mutation = Kind;
+
+  auto Erase = [&](size_t I) {
+    Out.Info.MutatedStep = I;
+    Steps.erase(Steps.begin() + static_cast<long>(I));
+  };
+
+  switch (Kind) {
+  case MutationKind::None:
+    Out.Info.Expected = ExpectedVerdict::Clean;
+    break;
+
+  case MutationKind::DropDmaWait: {
+    // Races only when the dropped fence was the last thing standing
+    // between an in-flight copy and the program end: the shipped
+    // lowerings drain every copy, so any undrained transfer after the
+    // erase is the dropped wait's doing.
+    Erase(Waits[Rng.nextBelow(Waits.size())]);
+    Out.Info.Expected = anyUndrained(Steps, Sem.LazySerialPull)
+                            ? ExpectedVerdict::RaceInjected
+                            : ExpectedVerdict::Benign;
+    break;
+  }
+
+  case MutationKind::DropOwnershipToGpu:
+  case MutationKind::DropOwnershipToCpu: {
+    // Every api-acq handoff carries the only ordering its round's
+    // shared-region accesses have: dropping any one injects a race.
+    std::vector<size_t> &Pool =
+        Kind == MutationKind::DropOwnershipToGpu ? ToGpu : ToCpu;
+    Erase(Pool[Rng.nextBelow(Pool.size())]);
+    Out.Info.Expected = ExpectedVerdict::RaceInjected;
+    break;
+  }
+
+  case MutationKind::MakeTransferAsync: {
+    // The last synchronous readback: making it asynchronous models the
+    // classic "early read" bug — the host observes the output while the
+    // copy may still be in flight.
+    size_t I = SyncReadbacks.back();
+    Steps[I].Async = true;
+    Out.Info.MutatedStep = I;
+    Out.Info.Expected = drainedAfter(Steps, I + 1, Sem.LazySerialPull)
+                            ? ExpectedVerdict::Benign
+                            : ExpectedVerdict::RaceInjected;
+    break;
+  }
+
+  case MutationKind::DropTransfer:
+    // The first copy of the program is always live (it feeds the first
+    // round), so dropping it must trip the data-flow linter; it removes
+    // accesses, so it can never inject a race.
+    Erase(Transfers.front());
+    Out.Info.Expected = ExpectedVerdict::LintExpected;
+    break;
+
+  case MutationKind::DuplicateTransfer: {
+    // A redundant copy re-runs on the same engine as the original and
+    // serializes behind it: dead work, never a race.
+    size_t I = Transfers[Rng.nextBelow(Transfers.size())];
+    Steps.insert(Steps.begin() + static_cast<long>(I), Steps[I]);
+    Out.Info.MutatedStep = I;
+    Out.Info.Expected = ExpectedVerdict::Benign;
+    break;
+  }
+
+  case MutationKind::ShareOutputAcrossAgents: {
+    // Two instances of the same kernel write one output allocation with
+    // no inter-agent synchronization: a guaranteed write-write race.
+    Out.Info.Kernels = {Kernel, Kernel};
+    Out.Info.Expected = ExpectedVerdict::RaceInjected;
+    Out.Corun = lowerCorun({Kernel, Kernel}, Config, {firstOutput(Kernel)});
+    return Out;
+  }
+  }
+
+  Out.Corun = corunFromSingle(std::move(Program), Config);
+  return Out;
+}
+
+void addFailure(FuzzStats &Stats, const FuzzCase &Info,
+                const std::string &Reason, size_t MaxFailures) {
+  if (Stats.Failures.size() < MaxFailures)
+    Stats.Failures.push_back({Info, Reason});
+  else if (Stats.Failures.size() == MaxFailures)
+    Stats.Failures.push_back({{}, "(further failures suppressed)"});
+}
+
+} // namespace
+
+bool hetsim::validateWitness(const RaceDetector &Detector,
+                             const RaceWitness &Witness, std::string &Error) {
+  const HbGraph &Graph = Detector.graph();
+  const RaceAccess &A = Witness.First;
+  const RaceAccess &B = Witness.Second;
+  if (Witness.Location.empty())
+    return Error = "empty location", false;
+  if (A.Location != Witness.Location || B.Location != Witness.Location)
+    return Error = "access locations disagree with the witness", false;
+  if (A.Node >= Graph.nodeCount() || B.Node >= Graph.nodeCount())
+    return Error = "witness names a node outside the graph", false;
+  if (A.Node >= B.Node)
+    return Error = "witness accesses not ordered by node id", false;
+  if (!A.IsWrite && !B.IsWrite)
+    return Error = "read-read pair reported as a race", false;
+  if (A.Agent == B.Agent && A.Lane == B.Lane)
+    return Error = "same execution resource cannot race", false;
+  if (A.OwnershipScoped != B.OwnershipScoped)
+    return Error = "accesses disagree on the ordering relation", false;
+  bool Ordered = A.OwnershipScoped
+                     ? (Graph.reachesScoped(A.Node, B.Node) ||
+                        Graph.reachesScoped(B.Node, A.Node))
+                     : (Graph.reaches(A.Node, B.Node) ||
+                        Graph.reaches(B.Node, A.Node));
+  if (Ordered)
+    return Error = "witness accesses are ordered in the graph", false;
+  if (Witness.MissingEdge.empty())
+    return Error = "missing-edge hint absent", false;
+  if (Witness.Interleaving.empty() ||
+      Witness.Interleaving.back().find("unordered") == std::string::npos)
+    return Error = "interleaving does not state the unordered pair", false;
+  return true;
+}
+
+std::string FuzzStats::render() const {
+  std::ostringstream Os;
+  Os << Cases << " fuzz cases:";
+  for (size_t K = 0; K != NumMutationKinds; ++K)
+    if (ByKind[K] != 0)
+      Os << " " << mutationKindName(static_cast<MutationKind>(K)) << "="
+         << ByKind[K];
+  Os << "\n";
+  Os << "  injected races flagged: " << RacesFlagged << "/" << RacesInjected
+     << "; witnesses validated: " << WitnessesChecked
+     << "; dynamic schedules replayed: " << DynamicReplays << "\n";
+  for (const FuzzFailure &Failure : Failures) {
+    if (!Failure.Reason.empty() && Failure.Case.System.empty())
+      Os << "  " << Failure.Reason << "\n";
+    else
+      Os << "  FAIL " << Failure.Case.describe() << ": " << Failure.Reason
+         << "\n";
+  }
+  Os << (passed() ? "differential fuzz: PASS" : "differential fuzz: FAIL")
+     << "\n";
+  return Os.str();
+}
+
+FuzzStats hetsim::fuzzVerifier(size_t Cases, uint64_t Seed,
+                               size_t MaxFailures) {
+  FuzzStats Stats;
+  Stats.Cases = Cases;
+  std::vector<SystemConfig> Systems = shippedSystems();
+  std::vector<KernelId> Kernels = allKernels();
+  XorShiftRng Master(Seed);
+
+  for (size_t Index = 0; Index != Cases; ++Index) {
+    XorShiftRng Rng(Master.next());
+    const SystemConfig &Config = Systems[Rng.nextBelow(Systems.size())];
+    KernelId Kernel = Kernels[Rng.nextBelow(Kernels.size())];
+    GeneratedCase Case = generateCase(Index, Config, Kernel, Rng);
+    const FuzzCase &Info = Case.Info;
+    Stats.ByKind[static_cast<size_t>(Info.Mutation)] += 1;
+
+    RaceDetector Detector(Case.Corun);
+    RaceReport Report = Detector.detect();
+
+    // Every reported witness must be structurally valid, whatever the
+    // expectation.
+    for (const RaceWitness &Witness : Report.Races) {
+      std::string Error;
+      if (validateWitness(Detector, Witness, Error))
+        Stats.WitnessesChecked += 1;
+      else
+        addFailure(Stats, Info, "invalid witness on " + Witness.Location +
+                                    ": " + Error,
+                   MaxFailures);
+    }
+
+    switch (Info.Expected) {
+    case ExpectedVerdict::RaceInjected:
+      Stats.RacesInjected += 1;
+      if (!Report.clean())
+        Stats.RacesFlagged += 1;
+      else
+        addFailure(Stats, Info, "injected race not flagged", MaxFailures);
+      break;
+    case ExpectedVerdict::Clean:
+    case ExpectedVerdict::Benign:
+      if (!Report.clean())
+        addFailure(Stats, Info,
+                   "false positive: " + Report.summary(), MaxFailures);
+      break;
+    case ExpectedVerdict::LintExpected: {
+      if (!Report.clean())
+        addFailure(Stats, Info,
+                   "false positive: " + Report.summary(), MaxFailures);
+      const CorunAgent &Agent = Case.Corun.Agents.front();
+      LintReport Lint = lintProgram(Agent.Program, Case.Corun.Config);
+      if (Lint.errorCount() == 0)
+        addFailure(Stats, Info, "dropped live transfer not flagged by linter",
+                   MaxFailures);
+      break;
+    }
+    }
+
+    // The soundness contract: verifier-clean programs must replay
+    // race-free on every explored schedule of the dynamic checker.
+    if (Report.clean()) {
+      std::vector<CorunSchedule> Schedules =
+          corunSchedules(Case.Corun, /*RandomCount=*/4, Rng.next());
+      for (const CorunSchedule &Schedule : Schedules) {
+        Stats.DynamicReplays += 1;
+        if (!buildCorunSyncHistory(Case.Corun, Schedule,
+                                   ConsistencyModel::Weak)
+                 .isRaceFree()) {
+          addFailure(Stats, Info,
+                     "verifier-clean program races dynamically", MaxFailures);
+          break;
+        }
+      }
+    }
+  }
+  return Stats;
+}

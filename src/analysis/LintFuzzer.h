@@ -1,0 +1,117 @@
+//===- analysis/LintFuzzer.h - Differential verifier fuzzing ----*- C++ -*-===//
+///
+/// \file
+/// The randomized differential oracle that closes the loop between the
+/// static race verifier (RaceDetector) and the dynamic consistency
+/// checker. Each fuzz case picks a shipped design point, applies one
+/// seeded ordering mutation to its lowering — a dropped fence, an early
+/// (asynchronous) readback, a dropped or duplicated copy, or a co-run
+/// sharing an output across agents — and checks the verdicts against a
+/// ground truth derived from the mutation construction itself, not from
+/// either analysis:
+///
+///  - a mutation built to break ordering (dropped ownership transfer,
+///    undrained asynchronous copy, cross-agent shared output) must be
+///    flagged with at least one structurally valid race witness;
+///  - a mutation that only removes dead ordering (a wait whose copies a
+///    later launch drains anyway) must stay race-free;
+///  - a dropped live transfer must keep the program race-free but trip
+///    the data-flow linter;
+///  - and on *every* case, the soundness contract holds: a program the
+///    verifier calls race-free must replay race-free on every explored
+///    interleaving of the dynamic checker.
+///
+/// A witness is validated structurally: same location on both sides, at
+/// least one write, different execution resources, genuinely unordered
+/// in the happens-before relation the location consults, and a
+/// non-empty missing-edge hint plus interleaving narrative.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HETSIM_ANALYSIS_LINTFUZZER_H
+#define HETSIM_ANALYSIS_LINTFUZZER_H
+
+#include "analysis/RaceDetector.h"
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace hetsim {
+
+/// The seeded ordering mutations the fuzzer applies.
+enum class MutationKind : uint8_t {
+  None,                    ///< Control: unmodified shipped lowering.
+  DropDmaWait,             ///< Erase one dma-wait fence (GMAC).
+  DropOwnershipToGpu,      ///< Erase one api-acq handoff to the GPU.
+  DropOwnershipToCpu,      ///< Erase one api-acq handoff back to the CPU.
+  MakeTransferAsync,       ///< Turn the last sync readback into an early
+                           ///< (asynchronous) copy nobody drains.
+  DropTransfer,            ///< Erase the first (always live) copy.
+  DuplicateTransfer,       ///< Insert a redundant copy of one transfer.
+  ShareOutputAcrossAgents, ///< Co-run two instances sharing an output.
+};
+inline constexpr size_t NumMutationKinds = 8;
+
+const char *mutationKindName(MutationKind Kind);
+
+/// What the construction guarantees about the mutated program.
+enum class ExpectedVerdict : uint8_t {
+  Clean,        ///< Race-free and lint-clean (the control class).
+  RaceInjected, ///< The verifier must report at least one race.
+  LintExpected, ///< Race-free, but the data-flow linter must object.
+  Benign,       ///< Race-free; lint verdict unconstrained.
+};
+
+const char *expectedVerdictName(ExpectedVerdict Verdict);
+
+/// One generated case, kept for failure reporting.
+struct FuzzCase {
+  size_t Index = 0;
+  std::string System;
+  std::vector<KernelId> Kernels;
+  MutationKind Mutation = MutationKind::None;
+  ExpectedVerdict Expected = ExpectedVerdict::Clean;
+  /// (Agent, step) the mutation touched; npos when not step-anchored.
+  size_t MutatedAgent = 0;
+  size_t MutatedStep = size_t(-1);
+
+  /// "case 17: GMAC / convolution, drop-dma-wait at a0 step 6".
+  std::string describe() const;
+};
+
+/// One contract violation.
+struct FuzzFailure {
+  FuzzCase Case;
+  std::string Reason;
+};
+
+/// Aggregate result of one fuzz run.
+struct FuzzStats {
+  size_t Cases = 0;
+  /// Cases per mutation kind (indexed by MutationKind).
+  std::array<size_t, NumMutationKinds> ByKind{};
+  size_t RacesInjected = 0;    ///< Cases the construction guarantees racy.
+  size_t RacesFlagged = 0;     ///< ...of which the verifier flagged.
+  size_t WitnessesChecked = 0; ///< Structurally validated witnesses.
+  size_t DynamicReplays = 0;   ///< Schedules replayed by the oracle.
+  std::vector<FuzzFailure> Failures; ///< First few violations, verbatim.
+
+  bool passed() const { return Failures.empty(); }
+  /// Multi-line human-readable account (ends with PASS/FAIL line).
+  std::string render() const;
+};
+
+/// Validates \p Witness against \p Detector's graph and location model.
+/// Returns false and fills \p Error on the first structural defect.
+bool validateWitness(const RaceDetector &Detector, const RaceWitness &Witness,
+                     std::string &Error);
+
+/// Runs \p Cases seeded mutation cases under weak consistency. At most
+/// \p MaxFailures violations are recorded in detail (the counters keep
+/// counting).
+FuzzStats fuzzVerifier(size_t Cases, uint64_t Seed, size_t MaxFailures = 8);
+
+} // namespace hetsim
+
+#endif // HETSIM_ANALYSIS_LINTFUZZER_H

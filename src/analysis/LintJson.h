@@ -1,0 +1,67 @@
+//===- analysis/LintJson.h - Machine-readable lint output -------*- C++ -*-===//
+///
+/// \file
+/// The "hetsim-lint-v1" diagnostics schema, registered alongside the
+/// metrics schemas ("hetsim-metrics-v1"/"hetsim-sweep-metrics-v1") and
+/// accepted by `hetsim_stats validate|show|audit`. One document carries
+/// the verdicts of one hetsim_lint invocation — any number of points,
+/// each with its linter diagnostics, race witnesses, and dynamic-oracle
+/// verdict:
+///
+///   { "schema": "hetsim-lint-v1", "model": "weak consistency",
+///     "points": [ { "system": "LRB", "kernels": ["reduction"],
+///                   "shared": [], "errors": 0, "warnings": 0,
+///                   "race_count": 0, "races_truncated": false,
+///                   "dynamically_race_free": true,
+///                   "disagreement": false,
+///                   "diagnostics": [ { "kind": "...", "severity": "...",
+///                       "step": 3, "object": "a", "message": "...",
+///                       "fix": "..." } ],
+///                   "races": [ { "location": "...", "missing_edge": "...",
+///                       "first": { "agent": 0, "step": 3, "lane": "cpu",
+///                           "write": true, "description": "..." },
+///                       "second": { ... },
+///                       "interleaving": ["...", "..."] } ] } ],
+///     "summary": { "points": 1, "errors": 0, "warnings": 0,
+///                  "races": 0, "disagreements": 0 } }
+///
+/// Start/end-anchored race accesses carry "step": -1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HETSIM_ANALYSIS_LINTJSON_H
+#define HETSIM_ANALYSIS_LINTJSON_H
+
+#include "analysis/LintDiagnostic.h"
+#include "analysis/RaceDetector.h"
+
+#include <string>
+#include <vector>
+
+namespace hetsim {
+
+/// The verdicts of one linted point, ready for serialization.
+struct LintJsonPoint {
+  std::string System;
+  std::vector<std::string> Kernels;
+  /// Co-run allocations shared across agents (empty for single points).
+  std::vector<std::string> SharedBases;
+  LintReport Report;
+  RaceReport Races;
+  bool DynamicallyRaceFree = true;
+  /// Static-clean but dynamically racy: a soundness bug in one analysis.
+  bool Disagreement = false;
+};
+
+/// Serializes \p Points as one "hetsim-lint-v1" document.
+std::string writeLintJson(const std::vector<LintJsonPoint> &Points,
+                          ConsistencyModel Model);
+
+/// Validates \p Text against the "hetsim-lint-v1" schema (shape and
+/// summary-count consistency). Returns false and fills \p Error on the
+/// first violation.
+bool validateLintJson(const std::string &Text, std::string &Error);
+
+} // namespace hetsim
+
+#endif // HETSIM_ANALYSIS_LINTJSON_H

@@ -1,0 +1,478 @@
+//===- analysis/RaceDetector.cpp ------------------------------------------===//
+
+#include "analysis/RaceDetector.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+using namespace hetsim;
+
+FenceSemantics hetsim::fenceSemanticsFor(const SystemConfig &Config,
+                                         ConsistencyModel Model) {
+  return FenceSemantics::make(Config.AddrSpace, Config.UseOwnership,
+                              Config.AsyncCopies, Model);
+}
+
+const char *hetsim::copyKindName(CopyKind Copy) {
+  switch (Copy) {
+  case CopyKind::Uni:
+    return "uni";
+  case CopyKind::Host:
+    return "host";
+  case CopyKind::Dev:
+    return "dev";
+  case CopyKind::SharedRegion:
+    return "shared";
+  case CopyKind::Acc:
+    return "acc";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Where each access class lands per address space.
+CopyKind initCopy(AddressSpaceKind Space) {
+  return Space == AddressSpaceKind::Unified ? CopyKind::Uni : CopyKind::Host;
+}
+
+/// Host-side observation/compute copy (serial merges, program end).
+CopyKind hostCopy(AddressSpaceKind Space) {
+  switch (Space) {
+  case AddressSpaceKind::Unified:
+    return CopyKind::Uni;
+  case AddressSpaceKind::Disjoint:
+    return CopyKind::Host;
+  case AddressSpaceKind::PartiallyShared:
+    return CopyKind::SharedRegion;
+  case AddressSpaceKind::Adsm:
+    return CopyKind::Host;
+  }
+  return CopyKind::Host;
+}
+
+/// GPU-side compute copy.
+CopyKind gpuCopy(AddressSpaceKind Space) {
+  switch (Space) {
+  case AddressSpaceKind::Unified:
+    return CopyKind::Uni;
+  case AddressSpaceKind::Disjoint:
+    return CopyKind::Dev;
+  case AddressSpaceKind::PartiallyShared:
+    return CopyKind::SharedRegion;
+  case AddressSpaceKind::Adsm:
+    return CopyKind::Acc;
+  }
+  return CopyKind::Dev;
+}
+
+/// Source/destination copies of a bulk transfer.
+CopyKind transferSource(AddressSpaceKind Space, TransferDir Dir) {
+  if (Dir == TransferDir::HostToDevice)
+    return initCopy(Space);
+  return gpuCopy(Space);
+}
+
+CopyKind transferDest(AddressSpaceKind Space, TransferDir Dir) {
+  if (Dir == TransferDir::HostToDevice)
+    return gpuCopy(Space);
+  return hostCopy(Space);
+}
+
+/// Device-resident copies belong to exactly one agent's allocation even
+/// when the host allocation is shared.
+bool isDeviceCopy(CopyKind Copy) {
+  return Copy == CopyKind::Dev || Copy == CopyKind::Acc;
+}
+
+std::vector<std::string> baseNames(KernelId Kernel, TransferDir Dir) {
+  std::vector<std::string> Names;
+  for (const DataObjectSpec &Spec : kernelDataObjects(Kernel))
+    if (Spec.Dir == Dir)
+      Names.push_back(Spec.Name);
+  return Names;
+}
+
+} // namespace
+
+std::string RaceReport::summary() const {
+  if (Races.empty())
+    return "race-free";
+  std::ostringstream Os;
+  Os << Races.size() << (Truncated ? "+" : "") << " race"
+     << (Races.size() == 1 && !Truncated ? "" : "s") << ", first on "
+     << Races.front().Location;
+  return Os.str();
+}
+
+std::string RaceReport::render() const {
+  std::ostringstream Os;
+  for (const RaceWitness &W : Races) {
+    Os << "race on " << W.Location << ":\n";
+    Os << "  first:  " << W.First.Description << "\n";
+    Os << "  second: " << W.Second.Description << "\n";
+    Os << "  missing edge: " << W.MissingEdge << "\n";
+    Os << "  interleaving:\n";
+    for (const std::string &Line : W.Interleaving)
+      Os << "    " << Line << "\n";
+  }
+  if (Truncated)
+    Os << "(witness cap reached; more races exist)\n";
+  return Os.str();
+}
+
+RaceDetector::RaceDetector(const CorunProgram &CorunIn,
+                           ConsistencyModel Model)
+    : Corun(CorunIn), Sem(fenceSemanticsFor(CorunIn.Config, Model)) {
+  buildGraph();
+  collectAccesses();
+}
+
+void RaceDetector::buildGraph() {
+  StartNode = Graph.addNode({HbNodeKind::Start, RaceAccess::npos, 0,
+                             HbLane::Cpu});
+  NodesOf.resize(Corun.Agents.size());
+
+  for (size_t A = 0; A != Corun.Agents.size(); ++A) {
+    const std::vector<ExecStep> &Steps = Corun.Agents[A].Program.Steps;
+    AgentNodes &N = NodesOf[A];
+    N.Step.assign(Steps.size(), HbGraph::npos);
+    N.Gpu.assign(Steps.size(), HbGraph::npos);
+    N.Join.assign(Steps.size(), HbGraph::npos);
+    N.Dma.assign(Steps.size(), HbGraph::npos);
+    auto Agent = uint32_t(A);
+
+    for (size_t I = 0; I != Steps.size(); ++I) {
+      N.Step[I] = Graph.addNode({HbNodeKind::Step, I, Agent, HbLane::Cpu});
+      if (Steps[I].Kind == ExecKind::ParallelCompute) {
+        N.Gpu[I] =
+            Graph.addNode({HbNodeKind::GpuRound, I, Agent, HbLane::Gpu});
+        N.Join[I] = Graph.addNode({HbNodeKind::Join, I, Agent, HbLane::Cpu});
+      }
+      if (Steps[I].Kind == ExecKind::Transfer && Steps[I].Async)
+        N.Dma[I] = Graph.addNode(
+            {HbNodeKind::DmaCompletion, I, Agent, HbLane::Dma});
+    }
+  }
+  EndNode = Graph.addNode({HbNodeKind::End, RaceAccess::npos, 0,
+                           HbLane::Cpu});
+
+  for (size_t A = 0; A != Corun.Agents.size(); ++A) {
+    const std::vector<ExecStep> &Steps = Corun.Agents[A].Program.Steps;
+    AgentNodes &N = NodesOf[A];
+
+    // Driver timeline with fork/join to the global start and end. Each
+    // ParallelCompute contributes launch/round/join: the launch edge and
+    // join edge carry the control-transfer fence semantics (excluded
+    // from the scoped relation), the Step->Join edge is plain driver
+    // blocking.
+    size_t Prev = StartNode;
+    HbEdgeKind Link = HbEdgeKind::AgentFork;
+    for (size_t I = 0; I != Steps.size(); ++I) {
+      Graph.addEdge(Prev, N.Step[I], Link);
+      Link = HbEdgeKind::DriverOrder;
+      Prev = N.Step[I];
+      if (Steps[I].Kind == ExecKind::ParallelCompute) {
+        Graph.addEdge(N.Step[I], N.Gpu[I], HbEdgeKind::KernelLaunch);
+        Graph.addEdge(N.Gpu[I], N.Join[I], HbEdgeKind::KernelJoin);
+        Graph.addEdge(N.Step[I], N.Join[I], HbEdgeKind::DriverOrder);
+        Prev = N.Join[I];
+      }
+    }
+    Graph.addEdge(Prev, EndNode,
+                  Steps.empty() ? HbEdgeKind::AgentFork
+                                : HbEdgeKind::AgentJoin);
+
+    for (size_t I = 0; I != Steps.size(); ++I) {
+      const ExecStep &Step = Steps[I];
+
+      // DMA lane: issue at the step, completion before the next drain
+      // point (DmaWait or a synchronizing kernel launch); under ADSM
+      // the runtime lazily pages async results in for a serial consumer.
+      if (Step.Kind == ExecKind::Transfer && Step.Async) {
+        size_t Dma = N.Dma[I];
+        Graph.addEdge(N.Step[I], Dma, HbEdgeKind::DmaIssue);
+        bool LazyConsumerSeen = false;
+        for (size_t J = I + 1; J != Steps.size(); ++J) {
+          if (Steps[J].Kind == ExecKind::DmaWait ||
+              Steps[J].Kind == ExecKind::ParallelCompute) {
+            Graph.addEdge(Dma, N.Step[J], HbEdgeKind::DmaDrain);
+            break;
+          }
+          if (Steps[J].Kind == ExecKind::SerialCompute &&
+              Sem.LazySerialPull && !LazyConsumerSeen) {
+            Graph.addEdge(Dma, N.Step[J], HbEdgeKind::LazyPull);
+            LazyConsumerSeen = true;
+          }
+        }
+      }
+
+      // Ownership edges bind the release/acquire to the GPU-lane round
+      // node, so an owned shared-region object is ordered through
+      // api-acq even though launch/join are scoped out.
+      if (Step.Kind == ExecKind::OwnershipToGpu) {
+        for (size_t J = I + 1; J != Steps.size(); ++J) {
+          if (Steps[J].Kind == ExecKind::ParallelCompute) {
+            Graph.addEdge(N.Step[I], N.Gpu[J], HbEdgeKind::ReleaseAcquire);
+            break;
+          }
+        }
+      }
+      if (Step.Kind == ExecKind::OwnershipToCpu) {
+        for (size_t J = I; J-- != 0;) {
+          if (Steps[J].Kind == ExecKind::ParallelCompute) {
+            Graph.addEdge(N.Gpu[J], N.Step[I], HbEdgeKind::ReleaseAcquire);
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  Graph.finalize();
+}
+
+std::string RaceDetector::locationName(uint32_t Agent,
+                                       const std::string &Base,
+                                       const char *Half,
+                                       CopyKind Copy) const {
+  std::string Name;
+  if (isDeviceCopy(Copy) && Agent < Corun.Agents.size())
+    Name = Corun.Agents[Agent].Name + "." + Base;
+  else
+    Name = Corun.objectName(Agent, Base);
+  Name += ".";
+  Name += Half;
+  Name += "@";
+  Name += copyKindName(Copy);
+  return Name;
+}
+
+void RaceDetector::addAccess(size_t Node, uint32_t Agent, size_t StepIndex,
+                             HbLane Lane, bool IsWrite,
+                             const std::string &Base, const char *Half,
+                             CopyKind Copy, const std::string &Point) {
+  RaceAccess Access;
+  Access.Node = Node;
+  Access.Agent = Agent;
+  Access.StepIndex = StepIndex;
+  Access.Lane = Lane;
+  Access.IsWrite = IsWrite;
+  Access.Location = locationName(Agent, Base, Half, Copy);
+  Access.OwnershipScoped =
+      Copy == CopyKind::SharedRegion && Sem.OwnershipRequired;
+  std::string AgentName =
+      Agent < Corun.Agents.size() ? Corun.Agents[Agent].Name : "a?";
+  Access.Description = AgentName + " " + Point +
+                       (IsWrite ? " writes " : " reads ") + Access.Location;
+  Accesses.push_back(std::move(Access));
+}
+
+void RaceDetector::collectAccesses() {
+  AddressSpaceKind Space = Corun.Config.AddrSpace;
+
+  for (size_t A = 0; A != Corun.Agents.size(); ++A) {
+    auto Agent = uint32_t(A);
+    const std::vector<ExecStep> &Steps = Corun.Agents[A].Program.Steps;
+    std::vector<std::string> Inputs =
+        baseNames(Corun.Agents[A].Kernel, TransferDir::HostToDevice);
+    std::vector<std::string> Outputs =
+        baseNames(Corun.Agents[A].Kernel, TransferDir::DeviceToHost);
+    const AgentNodes &N = NodesOf[A];
+
+    // Program entry initializes the inputs in host-visible memory;
+    // program exit observes the outputs there.
+    for (const std::string &Base : Inputs) {
+      addAccess(StartNode, Agent, RaceAccess::npos, HbLane::Cpu, true, Base,
+                "cpu", initCopy(Space), "start");
+      addAccess(StartNode, Agent, RaceAccess::npos, HbLane::Cpu, true, Base,
+                "gpu", initCopy(Space), "start");
+    }
+    for (const std::string &Base : Outputs) {
+      addAccess(EndNode, Agent, RaceAccess::npos, HbLane::Cpu, false, Base,
+                "cpu", hostCopy(Space), "end");
+      addAccess(EndNode, Agent, RaceAccess::npos, HbLane::Cpu, false, Base,
+                "gpu", hostCopy(Space), "end");
+    }
+
+    for (size_t I = 0; I != Steps.size(); ++I) {
+      const ExecStep &Step = Steps[I];
+      std::string SI = "s" + std::to_string(I);
+      switch (Step.Kind) {
+      case ExecKind::SerialCompute:
+        // The merge/finalize pass touches whole output objects (both
+        // halves) on the CPU.
+        for (const std::string &Base : Outputs) {
+          addAccess(N.Step[I], Agent, I, HbLane::Cpu, false, Base, "cpu",
+                    hostCopy(Space), SI + " (serial)");
+          addAccess(N.Step[I], Agent, I, HbLane::Cpu, false, Base, "gpu",
+                    hostCopy(Space), SI + " (serial)");
+          addAccess(N.Step[I], Agent, I, HbLane::Cpu, true, Base, "cpu",
+                    hostCopy(Space), SI + " (serial)");
+          addAccess(N.Step[I], Agent, I, HbLane::Cpu, true, Base, "gpu",
+                    hostCopy(Space), SI + " (serial)");
+        }
+        break;
+
+      case ExecKind::ParallelCompute:
+        // CPU half on the driver node between launch and join; GPU half
+        // on the GPU-lane round node.
+        for (const std::string &Base : Inputs) {
+          addAccess(N.Step[I], Agent, I, HbLane::Cpu, false, Base, "cpu",
+                    hostCopy(Space), SI + " (parallel cpu-half)");
+          addAccess(N.Gpu[I], Agent, I, HbLane::Gpu, false, Base, "gpu",
+                    gpuCopy(Space), SI + " (gpu round)");
+        }
+        for (const std::string &Base : Outputs) {
+          addAccess(N.Step[I], Agent, I, HbLane::Cpu, true, Base, "cpu",
+                    hostCopy(Space), SI + " (parallel cpu-half)");
+          addAccess(N.Gpu[I], Agent, I, HbLane::Gpu, true, Base, "gpu",
+                    gpuCopy(Space), SI + " (gpu round)");
+        }
+        break;
+
+      case ExecKind::Transfer: {
+        // Unified spaces have no transfers; a (mutated) one moves
+        // nothing. Elsewhere the copy reads the source copy and writes
+        // the destination copy — at the completion node when
+        // asynchronous, at the issuing step when blocking.
+        if (Space == AddressSpaceKind::Unified)
+          break;
+        size_t Node = Step.Async ? N.Dma[I] : N.Step[I];
+        HbLane Lane = Step.Async ? HbLane::Dma : HbLane::Cpu;
+        std::string Point =
+            SI + (Step.Async ? " (dma-completion)" : " (transfer)");
+        CopyKind Src = transferSource(Space, Step.Dir);
+        CopyKind Dst = transferDest(Space, Step.Dir);
+        for (const std::string &Base : Step.Objects) {
+          for (const char *Half : {"cpu", "gpu"}) {
+            addAccess(Node, Agent, I, Lane, false, Base, Half, Src, Point);
+            addAccess(Node, Agent, I, Lane, true, Base, Half, Dst, Point);
+          }
+        }
+        break;
+      }
+
+      case ExecKind::DmaWait:
+      case ExecKind::OwnershipToGpu:
+      case ExecKind::OwnershipToCpu:
+        // Pure synchronization; no data accesses.
+        break;
+
+      case ExecKind::PushLocality:
+        // The push streams the objects through the shared cache (reads).
+        for (const std::string &Base : Step.Objects)
+          for (const char *Half : {"cpu", "gpu"})
+            addAccess(N.Step[I], Agent, I, HbLane::Cpu, false, Base, Half,
+                      hostCopy(Space), SI + " (push)");
+        break;
+      }
+    }
+  }
+}
+
+std::vector<std::string>
+RaceDetector::interleavingFor(const RaceAccess &First,
+                              const RaceAccess &Second) const {
+  auto AgentName = [&](uint32_t Agent) {
+    return Agent < Corun.Agents.size() ? Corun.Agents[Agent].Name
+                                       : std::string("a?");
+  };
+  auto ContextLine = [&](const RaceAccess &Access) -> std::string {
+    const HbNode &Node = Graph.nodes()[Access.Node];
+    std::string Name = AgentName(Access.Agent);
+    switch (Node.Kind) {
+    case HbNodeKind::Start:
+      return "host initializes the inputs (program start)";
+    case HbNodeKind::End:
+      return Name + ": driver runs to completion; the host observes the "
+                    "outputs";
+    case HbNodeKind::DmaCompletion:
+      return Name + ": run steps 0.." + std::to_string(Access.StepIndex) +
+             "; the async copy issued at s" +
+             std::to_string(Access.StepIndex) + " is still in flight";
+    case HbNodeKind::GpuRound:
+      return Name + ": run steps 0.." + std::to_string(Access.StepIndex) +
+             "; the s" + std::to_string(Access.StepIndex) +
+             " GPU round executes";
+    case HbNodeKind::Step:
+    case HbNodeKind::Join:
+      return Name + ": run steps 0.." + std::to_string(Access.StepIndex);
+    }
+    return Name;
+  };
+
+  std::vector<std::string> Lines;
+  Lines.push_back(ContextLine(First));
+  std::string SecondLine = ContextLine(Second);
+  if (SecondLine != Lines.back())
+    Lines.push_back(SecondLine);
+  Lines.push_back("unordered: [" + First.Description + "] and [" +
+                  Second.Description +
+                  "] may execute in either order (no happens-before path)");
+  return Lines;
+}
+
+RaceReport RaceDetector::detect(size_t MaxRaces) const {
+  RaceReport Report;
+  if (Sem.everythingOrdered())
+    return Report;
+
+  // Group accesses per location; std::map keeps the scan order (and so
+  // the witness list) deterministic at any composition order.
+  std::map<std::string, std::vector<const RaceAccess *>> ByLocation;
+  for (const RaceAccess &Access : Accesses)
+    ByLocation[Access.Location].push_back(&Access);
+
+  std::set<std::pair<size_t, size_t>> Reported;
+  for (const auto &Entry : ByLocation) {
+    const std::vector<const RaceAccess *> &List = Entry.second;
+    for (size_t I = 0; I != List.size(); ++I) {
+      for (size_t J = I + 1; J != List.size(); ++J) {
+        const RaceAccess *A = List[I];
+        const RaceAccess *B = List[J];
+        if (!A->IsWrite && !B->IsWrite)
+          continue;
+        if (A->Node == B->Node)
+          continue;
+        // Same execution resource: serialized, never a race.
+        if (A->Agent == B->Agent && A->Lane == B->Lane)
+          continue;
+        bool Ordered =
+            A->OwnershipScoped
+                ? (Graph.reachesScoped(A->Node, B->Node) ||
+                   Graph.reachesScoped(B->Node, A->Node))
+                : (Graph.reaches(A->Node, B->Node) ||
+                   Graph.reaches(B->Node, A->Node));
+        if (Ordered)
+          continue;
+        if (A->Node > B->Node)
+          std::swap(A, B);
+        if (!Reported.insert({A->Node, B->Node}).second)
+          continue;
+        if (Report.Races.size() >= MaxRaces) {
+          Report.Truncated = true;
+          return Report;
+        }
+        RaceWitness W;
+        W.Location = Entry.first;
+        W.First = *A;
+        W.Second = *B;
+        bool DmaInvolved =
+            A->Lane == HbLane::Dma || B->Lane == HbLane::Dma;
+        W.MissingEdge = Sem.missingEdgeHint(A->OwnershipScoped, DmaInvolved);
+        W.Interleaving = interleavingFor(*A, *B);
+        Report.Races.push_back(std::move(W));
+      }
+    }
+  }
+  return Report;
+}
+
+RaceReport RaceDetector::analyze(const LoweredProgram &Program,
+                                 const SystemConfig &Config,
+                                 ConsistencyModel Model) {
+  CorunProgram Corun = corunFromSingle(Program, Config);
+  return RaceDetector(Corun, Model).detect();
+}

@@ -1,0 +1,147 @@
+//===- analysis/RaceDetector.h - Whole-system static races ------*- C++ -*-===//
+///
+/// \file
+/// The cross-agent static race verifier. Where the per-program linter
+/// (ProgramLinter.h) checks one lowering against Table I's legality
+/// rules, the RaceDetector proves the *whole system* data-race-free: it
+/// composes the happens-before graphs of every co-running kernel (one
+/// CPU-driver / GPU / DMA timeline set per agent), maps every access to
+/// a per-model memory location — object x work-split half x physical
+/// copy (host, device, shared-region, ADSM accelerator, or unified) —
+/// and reports every conflicting pair of accesses with no ordering path
+/// as a race witness: the two accesses, the relation that failed, the
+/// missing fence (memory/FenceSemantics.h), and a minimal interleaving
+/// that exhibits the race.
+///
+/// Ordering is model-sensitive: shared-region locations under an
+/// ownership discipline consult the *scoped* reachability relation
+/// (kernel launch/join excluded — only api-acq edges publish owned
+/// data), everything else the full relation. Accesses on the same agent
+/// and lane are serialized by their execution resource and never race.
+/// Under Strong consistency every access is globally ordered and the
+/// detector reports nothing, mirroring the dynamic checker.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HETSIM_ANALYSIS_RACEDETECTOR_H
+#define HETSIM_ANALYSIS_RACEDETECTOR_H
+
+#include "analysis/HbGraph.h"
+#include "core/CorunLowering.h"
+#include "memory/FenceSemantics.h"
+
+#include <string>
+#include <vector>
+
+namespace hetsim {
+
+/// Builds the per-model visibility table for \p Config (core-level
+/// wrapper over FenceSemantics::make).
+FenceSemantics fenceSemanticsFor(const SystemConfig &Config,
+                                 ConsistencyModel Model);
+
+/// The physical copy of an object a location names.
+enum class CopyKind : uint8_t {
+  Uni,          ///< The one copy of a unified space.
+  Host,         ///< Host-side copy (disjoint/ADSM host memory, staging).
+  Dev,          ///< GPU-private copy of a disjoint space (never aliased).
+  SharedRegion, ///< The partially shared region (LRB).
+  Acc,          ///< ADSM accelerator-resident copy (never aliased).
+};
+
+const char *copyKindName(CopyKind Copy);
+
+/// One access the verifier extracted from the composed programs.
+struct RaceAccess {
+  size_t Node = 0;      ///< HbGraph node the access executes at.
+  uint32_t Agent = 0;   ///< Owning agent.
+  size_t StepIndex = 0; ///< Step in that agent's program (npos: start/end).
+  HbLane Lane = HbLane::Cpu;
+  bool IsWrite = false;
+  /// Location: "<qualified-object>.<half>@<copy>", e.g. "a0.out.gpu@host".
+  std::string Location;
+  /// True when the location's ordering uses the scoped relation
+  /// (ownership-disciplined shared region).
+  bool OwnershipScoped = false;
+  /// Rendered form ("a0 s5 dma-completion writes a0.out.gpu@host").
+  std::string Description;
+
+  static constexpr size_t npos = static_cast<size_t>(-1);
+};
+
+/// One reported race: two unordered conflicting accesses.
+struct RaceWitness {
+  std::string Location;
+  RaceAccess First;  ///< Lower node id.
+  RaceAccess Second; ///< Higher node id.
+  /// The fence that would have ordered the pair.
+  std::string MissingEdge;
+  /// A minimal interleaving exhibiting the race, one narrative line per
+  /// entry; the last line states the unordered pair.
+  std::vector<std::string> Interleaving;
+};
+
+/// Everything one verification produced.
+struct RaceReport {
+  std::vector<RaceWitness> Races;
+  /// True when the pair scan hit the witness cap (more races exist).
+  bool Truncated = false;
+
+  bool clean() const { return Races.empty(); }
+  /// One summary line ("2 races, first on a0.out.gpu@host" / "race-free").
+  std::string summary() const;
+  /// Full human-readable listing (one block per witness).
+  std::string render() const;
+};
+
+/// The verifier. Holds a reference to \p Corun: keep it alive for the
+/// detector's lifetime.
+class RaceDetector {
+public:
+  explicit RaceDetector(const CorunProgram &Corun,
+                        ConsistencyModel Model = ConsistencyModel::Weak);
+
+  const HbGraph &graph() const { return Graph; }
+  const FenceSemantics &semantics() const { return Sem; }
+  const std::vector<RaceAccess> &accesses() const { return Accesses; }
+
+  /// Runs the pair scan; at most \p MaxRaces witnesses (one per
+  /// unordered node pair) are materialized.
+  RaceReport detect(size_t MaxRaces = 64) const;
+
+  /// Convenience: wraps \p Program as a one-agent co-run and verifies it.
+  static RaceReport analyze(const LoweredProgram &Program,
+                            const SystemConfig &Config,
+                            ConsistencyModel Model = ConsistencyModel::Weak);
+
+private:
+  void buildGraph();
+  void collectAccesses();
+  void addAccess(size_t Node, uint32_t Agent, size_t StepIndex, HbLane Lane,
+                 bool IsWrite, const std::string &Base, const char *Half,
+                 CopyKind Copy, const std::string &Point);
+  std::string locationName(uint32_t Agent, const std::string &Base,
+                           const char *Half, CopyKind Copy) const;
+  std::vector<std::string> interleavingFor(const RaceAccess &First,
+                                           const RaceAccess &Second) const;
+
+  const CorunProgram &Corun;
+  FenceSemantics Sem;
+  HbGraph Graph;
+  std::vector<RaceAccess> Accesses;
+  /// Per agent: node ids of each step, its GPU round, its join, and its
+  /// DMA completion (npos when absent).
+  struct AgentNodes {
+    std::vector<size_t> Step;
+    std::vector<size_t> Gpu;
+    std::vector<size_t> Join;
+    std::vector<size_t> Dma;
+  };
+  std::vector<AgentNodes> NodesOf;
+  size_t StartNode = 0;
+  size_t EndNode = 0;
+};
+
+} // namespace hetsim
+
+#endif // HETSIM_ANALYSIS_RACEDETECTOR_H

@@ -5,6 +5,7 @@
 #include "common/ThreadPool.h"
 #include "core/ConsistencyValidation.h"
 
+#include <algorithm>
 #include <sstream>
 
 using namespace hetsim;
@@ -25,6 +26,14 @@ unsigned SweepLintSummary::pointsWithWarnings() const {
   return Count;
 }
 
+unsigned SweepLintSummary::pointsWithRaces() const {
+  unsigned Count = 0;
+  for (const SweepLintResult &R : Results)
+    if (!R.Races.clean())
+      ++Count;
+  return Count;
+}
+
 unsigned SweepLintSummary::disagreements() const {
   unsigned Count = 0;
   for (const SweepLintResult &R : Results)
@@ -37,8 +46,18 @@ std::string SweepLintSummary::summary() const {
   std::ostringstream Os;
   Os << points() << " points linted: " << pointsWithErrors()
      << " with errors, " << pointsWithWarnings() << " with warnings, "
-     << disagreements() << " static/dynamic disagreements";
+     << pointsWithRaces() << " with static races, " << disagreements()
+     << " static/dynamic disagreements";
   return Os.str();
+}
+
+std::string SweepLintSummary::render() const {
+  std::string Out;
+  for (const SweepLintResult &R : Results)
+    Out += R.Rendered;
+  Out += summary();
+  Out += "\n";
+  return Out;
 }
 
 std::vector<SweepPoint> hetsim::shippedDesignSpace() {
@@ -70,7 +89,31 @@ SweepLintSummary hetsim::lintSweep(const std::vector<SweepPoint> &Points,
     R.System = Config.Name;
     R.Kernel = Points[I].Kernel;
     R.Report = lintProgram(Program, Config);
+    // Fix the diagnostic order so the rendering below never depends on
+    // rule-scan order.
+    std::stable_sort(R.Report.Diags.begin(), R.Report.Diags.end(),
+                     [](const LintDiagnostic &A, const LintDiagnostic &B) {
+                       if (A.StepIndex != B.StepIndex)
+                         return A.StepIndex < B.StepIndex;
+                       if (A.Kind != B.Kind)
+                         return A.Kind < B.Kind;
+                       return A.Object < B.Object;
+                     });
+    R.Races = RaceDetector::analyze(Program, Config, Model);
     R.DynamicallyRaceFree = validateRaceFree(Program, Model);
+    // Render while the program (step names) is still alive; clean points
+    // contribute nothing.
+    if (!R.Report.clean() || !R.Races.clean() || R.disagreement()) {
+      std::ostringstream Os;
+      Os << R.System << " / " << kernelName(R.Kernel) << ":\n";
+      Os << renderReport(R.Report, Program);
+      if (!R.Races.clean())
+        Os << R.Races.render();
+      if (R.disagreement())
+        Os << "  disagreement: static-clean but dynamically racy under "
+           << consistencyModelName(Model) << " consistency\n";
+      R.Rendered = Os.str();
+    }
   });
   return Summary;
 }

@@ -1,0 +1,66 @@
+//===- core/CorunLowering.cpp ---------------------------------------------===//
+
+#include "core/CorunLowering.h"
+
+#include <algorithm>
+
+using namespace hetsim;
+
+bool CorunProgram::isSharedBase(const std::string &Base) const {
+  return std::find(SharedBases.begin(), SharedBases.end(), Base) !=
+         SharedBases.end();
+}
+
+std::string CorunProgram::objectName(size_t Agent,
+                                     const std::string &Base) const {
+  if (isSharedBase(Base))
+    return Base;
+  if (Agent < Agents.size())
+    return Agents[Agent].Name + "." + Base;
+  return Base;
+}
+
+size_t CorunProgram::totalSteps() const {
+  size_t Total = 0;
+  for (const CorunAgent &Agent : Agents)
+    Total += Agent.Program.Steps.size();
+  return Total;
+}
+
+CorunProgram hetsim::lowerCorun(const std::vector<KernelId> &Kernels,
+                                const SystemConfig &Config,
+                                const std::vector<std::string> &SharedBases) {
+  CorunProgram Corun;
+  Corun.Config = Config;
+  for (size_t I = 0; I != Kernels.size(); ++I) {
+    CorunAgent Agent;
+    Agent.Name = "a" + std::to_string(I);
+    Agent.Kernel = Kernels[I];
+    Agent.Program = lowerKernel(Kernels[I], Config);
+    Corun.Agents.push_back(std::move(Agent));
+  }
+  // Keep only shared names that exist in at least one agent's object
+  // set, so the alias list always names real allocations.
+  for (const std::string &Base : SharedBases) {
+    bool Known = false;
+    for (const CorunAgent &Agent : Corun.Agents)
+      for (const DataObjectSpec &Spec : kernelDataObjects(Agent.Kernel))
+        if (Base == Spec.Name)
+          Known = true;
+    if (Known)
+      Corun.SharedBases.push_back(Base);
+  }
+  return Corun;
+}
+
+CorunProgram hetsim::corunFromSingle(LoweredProgram Program,
+                                     const SystemConfig &Config) {
+  CorunProgram Corun;
+  Corun.Config = Config;
+  CorunAgent Agent;
+  Agent.Name = "a0";
+  Agent.Kernel = Program.Kernel;
+  Agent.Program = std::move(Program);
+  Corun.Agents.push_back(std::move(Agent));
+  return Corun;
+}

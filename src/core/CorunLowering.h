@@ -1,0 +1,67 @@
+//===- core/CorunLowering.h - Cross-kernel co-run composition ---*- C++ -*-===//
+///
+/// \file
+/// Composes the lowered programs of multiple concurrently running kernels
+/// into one whole-system workload (the ROADMAP's CPU+GPU co-run axis).
+/// Each kernel instance is an *agent* with its own driver/GPU/DMA
+/// timelines; the agents share one SystemConfig (they run on the same
+/// machine) but their data objects are private by default — every base
+/// object name is qualified with the agent name ("a1.in"). A co-run may
+/// declare base names *shared*: those alias one host-visible allocation
+/// across all agents that have an object of that name, which is how the
+/// race verifier's cross-agent conflicts arise (two kernels reducing
+/// into one shared output is a race unless something orders the rounds).
+/// Device-private copies (disjoint GPU buffers, ADSM accelerator pages)
+/// are never aliased: sharing is a host-allocation property.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HETSIM_CORE_CORUNLOWERING_H
+#define HETSIM_CORE_CORUNLOWERING_H
+
+#include "core/Lowering.h"
+
+namespace hetsim {
+
+/// One concurrently running kernel instance.
+struct CorunAgent {
+  std::string Name; ///< Qualifier for private objects ("a0", "a1", ...).
+  KernelId Kernel = KernelId::Reduction;
+  LoweredProgram Program;
+};
+
+/// A composed co-run workload.
+struct CorunProgram {
+  SystemConfig Config;
+  std::vector<CorunAgent> Agents;
+  /// Base object names aliased to one host allocation across agents.
+  std::vector<std::string> SharedBases;
+
+  /// True if \p Base is declared shared across agents.
+  bool isSharedBase(const std::string &Base) const;
+
+  /// The globally unique object name of agent \p Agent's base object
+  /// \p Base: the base itself when shared, "<agent>.<base>" otherwise.
+  std::string objectName(size_t Agent, const std::string &Base) const;
+
+  /// Total steps across all agents.
+  size_t totalSteps() const;
+};
+
+/// Lowers each kernel of \p Kernels for \p Config and composes the
+/// results. Agents are named "a0", "a1", ... in order. \p SharedBases
+/// declares cross-agent aliased host allocations; names that match no
+/// agent's data objects are ignored.
+CorunProgram lowerCorun(const std::vector<KernelId> &Kernels,
+                        const SystemConfig &Config,
+                        const std::vector<std::string> &SharedBases = {});
+
+/// Wraps an already-lowered single program as a one-agent co-run (agent
+/// name "a0"; nothing shared) so single-kernel and co-run analyses run
+/// through one code path.
+CorunProgram corunFromSingle(LoweredProgram Program,
+                             const SystemConfig &Config);
+
+} // namespace hetsim
+
+#endif // HETSIM_CORE_CORUNLOWERING_H

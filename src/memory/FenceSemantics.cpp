@@ -1,0 +1,47 @@
+//===- memory/FenceSemantics.cpp ------------------------------------------===//
+
+#include "memory/FenceSemantics.h"
+
+using namespace hetsim;
+
+FenceSemantics FenceSemantics::make(AddressSpaceKind Space, bool UseOwnership,
+                                    bool UseAsyncCopies,
+                                    ConsistencyModel Model) {
+  FenceSemantics F;
+  F.AddrSpace = Space;
+  F.Consistency = Model;
+  F.OwnershipRequired = UseOwnership;
+  F.LaunchOrdersSharedRegion = !UseOwnership;
+  F.AsyncCopies = UseAsyncCopies;
+  F.LazySerialPull = Space == AddressSpaceKind::Adsm;
+  switch (Space) {
+  case AddressSpaceKind::Unified:
+    F.TransferInst = SpecialInst::None;
+    break;
+  case AddressSpaceKind::Disjoint:
+  case AddressSpaceKind::Adsm:
+    F.TransferInst = SpecialInst::ApiPci;
+    break;
+  case AddressSpaceKind::PartiallyShared:
+    F.TransferInst = SpecialInst::ApiTr;
+    break;
+  }
+  return F;
+}
+
+std::string FenceSemantics::missingEdgeHint(bool SharedRegionLocation,
+                                            bool DmaInvolved) const {
+  if (DmaInvolved) {
+    std::string Hint = "dma-wait draining the in-flight ";
+    Hint += specialInstName(TransferInst == SpecialInst::None
+                                ? SpecialInst::DmaWait
+                                : TransferInst);
+    Hint += " copy (or a kernel launch that synchronizes the engine)";
+    return Hint;
+  }
+  if (SharedRegionLocation && OwnershipRequired)
+    return "api-acq release/acquire transferring ownership of the shared "
+           "region between the PUs";
+  return "kernel launch/join edge (or an explicit release/acquire pair) "
+         "between the two accesses";
+}

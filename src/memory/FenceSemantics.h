@@ -1,0 +1,82 @@
+//===- memory/FenceSemantics.h - Per-model fence/visibility -----*- C++ -*-===//
+///
+/// \file
+/// The per-memory-model visibility table the static race verifier
+/// evaluates fences against. Table I's design axes decide which
+/// synchronization edges publish which data: in every model the
+/// kernel-launch/join control transfers order the coherent locations, but
+/// under an ownership discipline (LRB's api-acq) the shared region is
+/// *excluded* from that blanket ordering — shared-region data moves
+/// between the PUs only through release/acquire ownership actions, so a
+/// dropped api-acq is a race even though the launch still happened.
+/// Transfers publish the moved copy at their completion (api-pci /
+/// api-tr per connection); asynchronous copies complete on the DMA lane
+/// and need a drain (dma-wait or a synchronizing launch) before the data
+/// is safe, with ADSM's runtime additionally paging async results in on
+/// demand for serial consumers (lib-pf style lazy pull).
+///
+/// This header depends only on primitives (address-space kind, flags) so
+/// memory/ stays below core/; core-level code builds the table from a
+/// SystemConfig via the forConfig helper in analysis/RaceDetector.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HETSIM_MEMORY_FENCESEMANTICS_H
+#define HETSIM_MEMORY_FENCESEMANTICS_H
+
+#include "memory/AddressSpaceModel.h"
+#include "memory/ConsistencyChecker.h"
+#include "trace/SpecialInst.h"
+
+#include <string>
+
+namespace hetsim {
+
+/// The visibility table of one memory model.
+struct FenceSemantics {
+  AddressSpaceKind AddrSpace = AddressSpaceKind::Unified;
+  ConsistencyModel Consistency = ConsistencyModel::Weak;
+
+  /// Kernel launch/join publishes shared-region data. False exactly when
+  /// the model uses an ownership discipline: then only api-acq
+  /// release/acquire actions move shared-region visibility.
+  bool LaunchOrdersSharedRegion = true;
+
+  /// Shared-region accesses require ownership (api-acq) edges.
+  bool OwnershipRequired = false;
+
+  /// Transfers run on the DMA lane and publish at their completion node;
+  /// a drain (dma-wait or synchronizing launch) is required before the
+  /// moved data may be observed.
+  bool AsyncCopies = false;
+
+  /// The ADSM runtime pages asynchronously returned results in on demand
+  /// for a serial consumer (the lazy-pull edge): the consumer is ordered
+  /// after the copy without an explicit drain.
+  bool LazySerialPull = false;
+
+  /// The special instruction a bulk transfer lowers to under this model
+  /// (api-pci for disjoint/ADSM PCI-E copies, api-tr for the LRB
+  /// aperture, none for unified spaces).
+  SpecialInst TransferInst = SpecialInst::None;
+
+  /// Builds the table from primitives (see the core-level forConfig
+  /// wrapper for SystemConfig input).
+  static FenceSemantics make(AddressSpaceKind Space, bool UseOwnership,
+                             bool UseAsyncCopies, ConsistencyModel Model);
+
+  /// Under Strong consistency every access is globally ordered, so no
+  /// unordered pair is a model-visible race.
+  bool everythingOrdered() const {
+    return Consistency == ConsistencyModel::Strong;
+  }
+
+  /// The fix-it phrase for an unordered pair on a location of the given
+  /// class: which missing fence would have ordered it.
+  std::string missingEdgeHint(bool SharedRegionLocation,
+                              bool DmaInvolved) const;
+};
+
+} // namespace hetsim
+
+#endif // HETSIM_MEMORY_FENCESEMANTICS_H

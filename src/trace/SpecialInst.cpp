@@ -1,0 +1,71 @@
+//===- trace/SpecialInst.cpp ----------------------------------------------===//
+
+#include "trace/SpecialInst.h"
+
+#include "common/Error.h"
+
+using namespace hetsim;
+
+const char *hetsim::specialInstName(SpecialInst Inst) {
+  switch (Inst) {
+  case SpecialInst::None:
+    return "none";
+  case SpecialInst::ApiPci:
+    return "api-pci";
+  case SpecialInst::ApiTr:
+    return "api-tr";
+  case SpecialInst::ApiAcq:
+    return "api-acq";
+  case SpecialInst::LibPf:
+    return "lib-pf";
+  case SpecialInst::DmaWait:
+    return "dma-wait";
+  case SpecialInst::KernelLaunch:
+    return "kernel-launch";
+  case SpecialInst::KernelJoin:
+    return "kernel-join";
+  }
+  hetsim_unreachable("invalid special instruction");
+}
+
+const char *hetsim::fenceEffectName(FenceEffect Effect) {
+  switch (Effect) {
+  case FenceEffect::None:
+    return "none";
+  case FenceEffect::Acquire:
+    return "acquire";
+  case FenceEffect::Release:
+    return "release";
+  case FenceEffect::AcquireRelease:
+    return "acquire-release";
+  case FenceEffect::TransferComplete:
+    return "transfer-complete";
+  case FenceEffect::EngineDrain:
+    return "engine-drain";
+  }
+  hetsim_unreachable("invalid fence effect");
+}
+
+FenceEffect hetsim::fenceEffect(SpecialInst Inst) {
+  switch (Inst) {
+  case SpecialInst::None:
+    return FenceEffect::None;
+  case SpecialInst::ApiPci:
+  case SpecialInst::ApiTr:
+    return FenceEffect::TransferComplete;
+  case SpecialInst::ApiAcq:
+    return FenceEffect::AcquireRelease;
+  case SpecialInst::LibPf:
+    // The fault handler orders the faulted page, which the batched
+    // lib-pf charging folds into the owning round: model-wise the page
+    // is published with the round's launch.
+    return FenceEffect::Acquire;
+  case SpecialInst::DmaWait:
+    return FenceEffect::EngineDrain;
+  case SpecialInst::KernelLaunch:
+    return FenceEffect::Release;
+  case SpecialInst::KernelJoin:
+    return FenceEffect::Acquire;
+  }
+  hetsim_unreachable("invalid special instruction");
+}

@@ -1,0 +1,163 @@
+//===- tests/hb_graph_test.cpp - Happens-before graph edge cases ----------===//
+//
+// The HbGraph builder API and its two reachability relations: empty
+// programs, cycle detection (self edges included), duplicate-edge
+// tolerance, and transitive reduction — exactness checked against
+// reachability equivalence and minimality on randomized DAGs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/HbGraph.h"
+#include "common/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace hetsim;
+
+namespace {
+
+/// A builder-API chain of \p N Step nodes with no edges.
+HbGraph makeNodes(size_t N) {
+  HbGraph Graph;
+  for (size_t I = 0; I != N; ++I)
+    Graph.addNode({HbNodeKind::Step, I, 0, HbLane::Cpu});
+  return Graph;
+}
+
+/// The full reachability matrix of a finalized graph.
+std::vector<std::vector<bool>> reachMatrix(const HbGraph &Graph) {
+  size_t N = Graph.nodeCount();
+  std::vector<std::vector<bool>> M(N, std::vector<bool>(N));
+  for (size_t F = 0; F != N; ++F)
+    for (size_t T = 0; T != N; ++T)
+      M[F][T] = Graph.reaches(F, T);
+  return M;
+}
+
+/// Rebuilds a graph with \p Nodes nodes and exactly \p Edges, finalized.
+HbGraph fromEdges(size_t Nodes, const std::vector<HbEdge> &Edges) {
+  HbGraph Graph = makeNodes(Nodes);
+  for (const HbEdge &Edge : Edges)
+    Graph.addEdge(Edge.From, Edge.To, Edge.Kind);
+  Graph.finalize();
+  return Graph;
+}
+
+TEST(HbGraphEdgeCases, EmptyProgramStillOrdersStartBeforeEnd) {
+  LoweredProgram Program;
+  Program.Steps.clear();
+  SystemConfig Config = SystemConfig::forCaseStudy(CaseStudy::CpuGpu);
+  HbGraph Graph = HbGraph::build(Program, Config);
+  ASSERT_EQ(Graph.nodeCount(), 2u);
+  EXPECT_TRUE(Graph.reaches(Graph.startNode(), Graph.endNode()));
+  EXPECT_FALSE(Graph.reaches(Graph.endNode(), Graph.startNode()));
+  EXPECT_FALSE(Graph.hasCycle());
+  EXPECT_TRUE(Graph.undrainedTransfers().empty());
+  EXPECT_EQ(Graph.transitiveReduction().size(), 1u);
+}
+
+TEST(HbGraphEdgeCases, DetectsCycles) {
+  HbGraph Acyclic = makeNodes(3);
+  Acyclic.addEdge(0, 1, HbEdgeKind::DriverOrder);
+  Acyclic.addEdge(1, 2, HbEdgeKind::DriverOrder);
+  EXPECT_FALSE(Acyclic.hasCycle());
+
+  HbGraph Cyclic = makeNodes(3);
+  Cyclic.addEdge(0, 1, HbEdgeKind::DriverOrder);
+  Cyclic.addEdge(1, 2, HbEdgeKind::DriverOrder);
+  Cyclic.addEdge(2, 0, HbEdgeKind::ReleaseAcquire);
+  EXPECT_TRUE(Cyclic.hasCycle());
+}
+
+TEST(HbGraphEdgeCases, SelfEdgeIsACycleAndNeverSurvivesReduction) {
+  HbGraph Graph = makeNodes(2);
+  Graph.addEdge(0, 1, HbEdgeKind::DriverOrder);
+  Graph.addEdge(1, 1, HbEdgeKind::DriverOrder);
+  EXPECT_TRUE(Graph.hasCycle());
+  Graph.finalize();
+  for (const HbEdge &Edge : Graph.transitiveReduction())
+    EXPECT_NE(Edge.From, Edge.To);
+}
+
+TEST(HbGraphEdgeCases, DuplicateEdgesCollapseInReduction) {
+  HbGraph Graph = makeNodes(3);
+  Graph.addEdge(0, 1, HbEdgeKind::DriverOrder);
+  Graph.addEdge(0, 1, HbEdgeKind::ReleaseAcquire);
+  Graph.addEdge(1, 2, HbEdgeKind::DriverOrder);
+  Graph.finalize();
+  EXPECT_FALSE(Graph.hasCycle());
+  std::vector<HbEdge> Reduced = Graph.transitiveReduction();
+  ASSERT_EQ(Reduced.size(), 2u);
+  // The first-added parallel edge survives.
+  EXPECT_EQ(Reduced[0].Kind, HbEdgeKind::DriverOrder);
+}
+
+TEST(HbGraphEdgeCases, ReductionDropsImpliedShortcut) {
+  HbGraph Graph = makeNodes(3);
+  Graph.addEdge(0, 1, HbEdgeKind::DriverOrder);
+  Graph.addEdge(1, 2, HbEdgeKind::DriverOrder);
+  Graph.addEdge(0, 2, HbEdgeKind::DriverOrder); // implied by 0->1->2
+  Graph.finalize();
+  std::vector<HbEdge> Reduced = Graph.transitiveReduction();
+  ASSERT_EQ(Reduced.size(), 2u);
+  for (const HbEdge &Edge : Reduced)
+    EXPECT_FALSE(Edge.From == 0 && Edge.To == 2);
+}
+
+TEST(HbGraphEdgeCases, ScopedRelationIgnoresLaunchAndJoinEdges) {
+  HbGraph Graph = makeNodes(4);
+  Graph.addEdge(0, 1, HbEdgeKind::KernelLaunch);
+  Graph.addEdge(1, 2, HbEdgeKind::KernelJoin);
+  Graph.addEdge(2, 3, HbEdgeKind::ReleaseAcquire);
+  Graph.finalize();
+  EXPECT_TRUE(Graph.reaches(0, 3));
+  EXPECT_FALSE(Graph.reachesScoped(0, 3));
+  EXPECT_TRUE(Graph.reachesScoped(2, 3));
+}
+
+TEST(HbGraphEdgeCases, RandomizedDagReductionIsExactAndMinimal) {
+  XorShiftRng Rng(0xC0FFEE);
+  for (int Trial = 0; Trial != 30; ++Trial) {
+    size_t N = 3 + Rng.nextBelow(10);
+    HbGraph Graph = makeNodes(N);
+    // Random DAG: edges only from lower to higher ids, so acyclic by
+    // construction; duplicates allowed on purpose.
+    for (size_t F = 0; F != N; ++F)
+      for (size_t T = F + 1; T != N; ++T)
+        if (Rng.nextBool(0.35))
+          Graph.addEdge(F, T, HbEdgeKind::DriverOrder);
+    Graph.finalize();
+    ASSERT_FALSE(Graph.hasCycle());
+    std::vector<std::vector<bool>> Want = reachMatrix(Graph);
+    std::vector<HbEdge> Reduced = Graph.transitiveReduction();
+
+    // Equivalence: the reduced edge set reproduces reachability exactly.
+    HbGraph Rebuilt = fromEdges(N, Reduced);
+    EXPECT_EQ(reachMatrix(Rebuilt), Want) << "trial " << Trial;
+
+    // Minimality: removing any reduced edge loses its ordering.
+    for (size_t Drop = 0; Drop != Reduced.size(); ++Drop) {
+      std::vector<HbEdge> Fewer = Reduced;
+      Fewer.erase(Fewer.begin() + static_cast<long>(Drop));
+      HbGraph Thinner = fromEdges(N, Fewer);
+      EXPECT_FALSE(Thinner.reaches(Reduced[Drop].From, Reduced[Drop].To))
+          << "trial " << Trial << " edge " << Drop;
+    }
+  }
+}
+
+TEST(HbGraphEdgeCases, UndrainedTransferSurfacesWhenTheWaitGoes) {
+  SystemConfig Config = SystemConfig::forCaseStudy(CaseStudy::Gmac);
+  LoweredProgram Program = lowerKernel(KernelId::Convolution, Config);
+  HbGraph Drained = HbGraph::build(Program, Config);
+  EXPECT_TRUE(Drained.undrainedTransfers().empty());
+  for (size_t I = Program.Steps.size(); I-- != 0;)
+    if (Program.Steps[I].Kind == ExecKind::DmaWait) {
+      Program.Steps.erase(Program.Steps.begin() + static_cast<long>(I));
+      break;
+    }
+  HbGraph Undrained = HbGraph::build(Program, Config);
+  EXPECT_FALSE(Undrained.undrainedTransfers().empty());
+}
+
+} // namespace

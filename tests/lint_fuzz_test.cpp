@@ -1,0 +1,91 @@
+//===- tests/lint_fuzz_test.cpp - Differential fuzz oracle ----------------===//
+//
+// The seeded mutation fuzzer: the static verifier must flag every
+// constructed ordering bug with a valid witness, must never call a
+// dynamically racy program clean, and the whole run must be
+// reproducible from its seed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/LintFuzzer.h"
+
+#include <gtest/gtest.h>
+
+using namespace hetsim;
+
+namespace {
+
+TEST(LintFuzzer, ContractHoldsOverSeededCases) {
+  FuzzStats Stats = fuzzVerifier(/*Cases=*/400, /*Seed=*/3);
+  EXPECT_TRUE(Stats.passed()) << Stats.render();
+  EXPECT_EQ(Stats.Cases, 400u);
+  // The run must actually exercise the interesting classes.
+  EXPECT_GT(Stats.RacesInjected, 0u);
+  EXPECT_EQ(Stats.RacesFlagged, Stats.RacesInjected);
+  EXPECT_GT(Stats.WitnessesChecked, 0u);
+  EXPECT_GT(Stats.DynamicReplays, 0u);
+  for (size_t Kind = 0; Kind != NumMutationKinds; ++Kind)
+    EXPECT_GT(Stats.ByKind[Kind], 0u)
+        << "mutation class never drawn: "
+        << mutationKindName(static_cast<MutationKind>(Kind));
+}
+
+TEST(LintFuzzer, RunsAreReproducibleFromTheSeed) {
+  FuzzStats A = fuzzVerifier(120, 77);
+  FuzzStats B = fuzzVerifier(120, 77);
+  EXPECT_EQ(A.ByKind, B.ByKind);
+  EXPECT_EQ(A.RacesInjected, B.RacesInjected);
+  EXPECT_EQ(A.RacesFlagged, B.RacesFlagged);
+  EXPECT_EQ(A.WitnessesChecked, B.WitnessesChecked);
+  EXPECT_EQ(A.DynamicReplays, B.DynamicReplays);
+  EXPECT_EQ(A.render(), B.render());
+
+  FuzzStats C = fuzzVerifier(120, 78);
+  EXPECT_NE(A.render(), C.render());
+}
+
+TEST(LintFuzzer, WitnessValidatorRejectsTamperedWitnesses) {
+  SystemConfig Config = SystemConfig::forCaseStudy(CaseStudy::Fusion);
+  CorunProgram Corun =
+      lowerCorun({KernelId::Reduction, KernelId::Reduction}, Config, {"c"});
+  RaceDetector Detector(Corun);
+  RaceReport Report = Detector.detect();
+  ASSERT_FALSE(Report.clean());
+  RaceWitness Genuine = Report.Races.front();
+  std::string Error;
+  ASSERT_TRUE(validateWitness(Detector, Genuine, Error)) << Error;
+
+  RaceWitness ReadRead = Genuine;
+  ReadRead.First.IsWrite = ReadRead.Second.IsWrite = false;
+  EXPECT_FALSE(validateWitness(Detector, ReadRead, Error));
+
+  RaceWitness WrongLocation = Genuine;
+  WrongLocation.Location = "nowhere";
+  EXPECT_FALSE(validateWitness(Detector, WrongLocation, Error));
+
+  RaceWitness SameResource = Genuine;
+  SameResource.Second.Agent = SameResource.First.Agent;
+  SameResource.Second.Lane = SameResource.First.Lane;
+  EXPECT_FALSE(validateWitness(Detector, SameResource, Error));
+
+  RaceWitness OrderedPair = Genuine;
+  // The global start reaches every node, so an (entry, X) pair is
+  // ordered and must be rejected.
+  OrderedPair.First.Node = Detector.graph().startNode();
+  OrderedPair.First.OwnershipScoped = OrderedPair.Second.OwnershipScoped;
+  EXPECT_FALSE(validateWitness(Detector, OrderedPair, Error));
+
+  RaceWitness NoHint = Genuine;
+  NoHint.MissingEdge.clear();
+  EXPECT_FALSE(validateWitness(Detector, NoHint, Error));
+}
+
+TEST(LintFuzzer, NamesCoverEveryEnumerator) {
+  for (size_t Kind = 0; Kind != NumMutationKinds; ++Kind)
+    EXPECT_NE(mutationKindName(static_cast<MutationKind>(Kind)),
+              nullptr);
+  EXPECT_STREQ(expectedVerdictName(ExpectedVerdict::RaceInjected),
+               "race-injected");
+}
+
+} // namespace

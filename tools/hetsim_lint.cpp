@@ -4,38 +4,71 @@
 /// The `hetsim_lint` command-line tool: static race/hazard analysis over
 /// lowered programs, before any cycle simulation runs.
 ///
-///   hetsim_lint [--all] [--jobs N] [--model weak|release|strong]
-///   hetsim_lint --system LRB --kernel reduction [--dot] [key=value ...]
+///   hetsim_lint [--all] [--jobs N] [--model M] [--json FILE]
+///   hetsim_lint --system S --kernel K [--dot] [--json FILE]
+///       [--max-diagnostics N] [key=value ...]
+///   hetsim_lint --corun K1,K2[,...] --system S [--share OBJ[,...]]
+///       [--json FILE] [--max-diagnostics N]
+///   hetsim_lint --fuzz N [--seed S]
 ///
-/// Without --system/--kernel the tool lints the whole shipped design
-/// space (five case studies plus four address-space studies, across all
-/// six kernels) and cross-checks every verdict against the dynamic
-/// ConsistencyChecker. The exit status is nonzero on any diagnostic or
-/// any static/dynamic disagreement, so scripts/lint.sh can gate on it.
+/// Without a mode flag the tool verifies the whole shipped design space
+/// (five case studies plus four address-space studies, across all six
+/// kernels): per-program lint, whole-system race detection, and the
+/// dynamic ConsistencyChecker as a differential oracle. --corun composes
+/// several kernels as concurrently running agents (optionally sharing
+/// allocations named by --share) and race-checks the composition.
+/// --fuzz runs the seeded differential fuzzer (analysis/LintFuzzer.h).
+/// --json writes a "hetsim-lint-v1" document ("-" for stdout).
+///
+/// Exit codes, by severity class:
+///   0  clean
+///   1  warnings only
+///   2  usage error (unknown flag/system/kernel/model)
+///   3  lint errors
+///   4  races, static/dynamic disagreements, or fuzz contract failures
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/LintFuzzer.h"
+#include "analysis/LintJson.h"
 #include "analysis/SweepLinter.h"
 #include "core/ConsistencyValidation.h"
 #include "core/Experiments.h"
+#include "obs/Json.h"
 
 #include <cstdio>
 #include <cstring>
+#include <sstream>
 #include <string>
+#include <vector>
 
 using namespace hetsim;
 
 namespace {
+
+// Severity-class exit codes.
+enum : int {
+  ExitClean = 0,
+  ExitWarnings = 1,
+  ExitUsage = 2,
+  ExitErrors = 3,
+  ExitRaces = 4,
+};
 
 int usage() {
   std::fprintf(
       stderr,
       "usage:\n"
       "  hetsim_lint [--all] [--jobs N] [--model weak|release|strong]\n"
-      "  hetsim_lint --system <name> --kernel <name> [--dot]\n"
-      "          [--model weak|release|strong] [key=value ...]\n"
-      "systems: CPU+GPU LRB GMAC Fusion IDEAL-HETERO UNI PAS DIS ADSM\n");
-  return 2;
+      "          [--json FILE]\n"
+      "  hetsim_lint --system <name> --kernel <name> [--dot] [--json FILE]\n"
+      "          [--max-diagnostics N] [--model M] [key=value ...]\n"
+      "  hetsim_lint --corun <k1,k2,...> --system <name> [--share o1,...]\n"
+      "          [--json FILE] [--max-diagnostics N] [--model M]\n"
+      "  hetsim_lint --fuzz <cases> [--seed S]\n"
+      "systems: CPU+GPU LRB GMAC Fusion IDEAL-HETERO UNI PAS DIS ADSM\n"
+      "exit codes: 0 clean, 1 warnings, 2 usage, 3 errors, 4 races\n");
+  return ExitUsage;
 }
 
 bool systemByName(const std::string &Name, SystemConfig &Out,
@@ -74,52 +107,199 @@ bool modelByName(const std::string &Name, ConsistencyModel &Out) {
   return false;
 }
 
-int lintAll(unsigned Jobs, ConsistencyModel Model) {
-  SweepLintSummary Summary = lintSweep(shippedDesignSpace(), Jobs, Model);
-  unsigned Diagnostics = 0;
-  for (const SweepLintResult &R : Summary.Results) {
-    if (R.Report.clean() && !R.disagreement())
-      continue;
-    // Re-lower for rendering: the sweep keeps only the verdicts.
-    SystemConfig Config;
-    ConfigStore Empty;
-    if (!systemByName(R.System, Config, Empty))
-      Config = SystemConfig::forCaseStudy(CaseStudy::CpuGpu);
-    LoweredProgram Program = lowerKernel(R.Kernel, Config);
-    std::printf("%s / %s:\n", R.System.c_str(), kernelName(R.Kernel));
-    std::printf("%s", renderReport(R.Report, Program).c_str());
-    if (R.disagreement())
-      std::printf("  disagreement: static-clean but dynamically racy "
-                  "under %s consistency\n",
-                  consistencyModelName(Model));
-    Diagnostics += unsigned(R.Report.Diags.size());
+std::vector<std::string> splitList(const std::string &Text) {
+  std::vector<std::string> Parts;
+  std::string Part;
+  std::istringstream Is(Text);
+  while (std::getline(Is, Part, ','))
+    if (!Part.empty())
+      Parts.push_back(Part);
+  return Parts;
+}
+
+/// Writes \p Doc to \p Path ("-" for stdout). Returns false after a
+/// diagnostic.
+bool emitJson(const std::string &Path, const std::string &Doc) {
+  if (Path == "-") {
+    std::printf("%s\n", Doc.c_str());
+    return true;
   }
-  std::printf("%s\n", Summary.summary().c_str());
-  return (Diagnostics == 0 && Summary.disagreements() == 0) ? 0 : 1;
+  if (!writeTextFile(Path, Doc + "\n")) {
+    std::fprintf(stderr, "error: cannot write %s\n", Path.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Prints at most \p MaxDiagnostics lines of \p Text (0 = no cap) and a
+/// suppression note for the rest.
+void printCapped(const std::string &Text, size_t MaxDiagnostics) {
+  if (MaxDiagnostics == 0) {
+    std::printf("%s", Text.c_str());
+    return;
+  }
+  size_t Printed = 0, Pos = 0, Total = 0;
+  for (size_t I = 0; I != Text.size(); ++I)
+    if (Text[I] == '\n')
+      ++Total;
+  while (Pos < Text.size() && Printed < MaxDiagnostics) {
+    size_t End = Text.find('\n', Pos);
+    if (End == std::string::npos)
+      End = Text.size() - 1;
+    std::fwrite(Text.data() + Pos, 1, End - Pos + 1, stdout);
+    Pos = End + 1;
+    ++Printed;
+  }
+  if (Pos < Text.size())
+    std::printf("  (suppressed %zu of %zu diagnostic lines; raise "
+                "--max-diagnostics)\n",
+                Total - Printed, Total);
+}
+
+/// Folds one point's verdicts into a severity-class exit code.
+int exitCodeFor(const LintReport &Report, const RaceReport &Races,
+                bool Disagreement) {
+  if (!Races.clean() || Disagreement)
+    return ExitRaces;
+  if (Report.errorCount() != 0)
+    return ExitErrors;
+  if (Report.warningCount() != 0)
+    return ExitWarnings;
+  return ExitClean;
+}
+
+int lintAll(unsigned Jobs, ConsistencyModel Model,
+            const std::string &JsonPath) {
+  SweepLintSummary Summary = lintSweep(shippedDesignSpace(), Jobs, Model);
+  std::printf("%s", Summary.render().c_str());
+  if (!JsonPath.empty()) {
+    std::vector<LintJsonPoint> Points;
+    for (const SweepLintResult &R : Summary.Results) {
+      LintJsonPoint Point;
+      Point.System = R.System;
+      Point.Kernels = {kernelName(R.Kernel)};
+      Point.Report = R.Report;
+      Point.Races = R.Races;
+      Point.DynamicallyRaceFree = R.DynamicallyRaceFree;
+      Point.Disagreement = R.disagreement();
+      Points.push_back(std::move(Point));
+    }
+    if (!emitJson(JsonPath, writeLintJson(Points, Model)))
+      return ExitUsage;
+  }
+  if (Summary.pointsWithRaces() != 0 || Summary.disagreements() != 0)
+    return ExitRaces;
+  if (Summary.pointsWithErrors() != 0)
+    return ExitErrors;
+  return Summary.pointsWithWarnings() != 0 ? ExitWarnings : ExitClean;
 }
 
 int lintPoint(const SystemConfig &Config, KernelId Kernel, bool Dot,
-              ConsistencyModel Model) {
+              ConsistencyModel Model, const std::string &JsonPath,
+              size_t MaxDiagnostics) {
   LoweredProgram Program = lowerKernel(Kernel, Config);
   if (Dot) {
     HbGraph Graph = HbGraph::build(Program, Config);
     std::printf("%s", Graph.renderDot(Program).c_str());
-    return 0;
+    return ExitClean;
   }
   LintReport Report = lintProgram(Program, Config);
+  RaceReport Races = RaceDetector::analyze(Program, Config, Model);
   bool RaceFree = validateRaceFree(Program, Model);
-  std::printf("%s / %s: %u error(s), %u warning(s); dynamic replay %s\n",
-              Config.Name.c_str(), kernelName(Kernel),
-              Report.errorCount(), Report.warningCount(),
-              RaceFree ? "race-free" : "RACY");
-  std::printf("%s", renderReport(Report, Program).c_str());
-  if (Report.errorCount() == 0 && !RaceFree) {
+  bool Disagreement =
+      Report.errorCount() == 0 && Races.clean() && !RaceFree;
+  std::printf(
+      "%s / %s: %u error(s), %u warning(s), %zu race(s); dynamic replay "
+      "%s\n",
+      Config.Name.c_str(), kernelName(Kernel), Report.errorCount(),
+      Report.warningCount(), Races.Races.size(),
+      RaceFree ? "race-free" : "RACY");
+  printCapped(renderReport(Report, Program) + Races.render(),
+              MaxDiagnostics);
+  if (Disagreement)
     std::printf("disagreement: static-clean but dynamically racy under "
                 "%s consistency\n",
                 consistencyModelName(Model));
-    return 1;
+  if (!JsonPath.empty()) {
+    LintJsonPoint Point;
+    Point.System = Config.Name;
+    Point.Kernels = {kernelName(Kernel)};
+    Point.Report = Report;
+    Point.Races = Races;
+    Point.DynamicallyRaceFree = RaceFree;
+    Point.Disagreement = Disagreement;
+    if (!emitJson(JsonPath, writeLintJson({Point}, Model)))
+      return ExitUsage;
   }
-  return Report.clean() ? 0 : 1;
+  return exitCodeFor(Report, Races, Disagreement);
+}
+
+int lintCorun(const SystemConfig &Config,
+              const std::vector<KernelId> &Kernels,
+              const std::vector<std::string> &Shared,
+              ConsistencyModel Model, const std::string &JsonPath,
+              size_t MaxDiagnostics) {
+  CorunProgram Corun = lowerCorun(Kernels, Config, Shared);
+  // Per-agent data-flow lint first, then the whole-system verifier.
+  LintReport Combined;
+  Combined.System = Config.Name;
+  std::string Text;
+  for (size_t A = 0; A != Corun.Agents.size(); ++A) {
+    const CorunAgent &Agent = Corun.Agents[A];
+    LintReport Report = lintProgram(Agent.Program, Config);
+    if (!Report.clean()) {
+      Text += Agent.Name + " (" + kernelName(Agent.Kernel) + "):\n";
+      Text += renderReport(Report, Agent.Program);
+    }
+    for (const LintDiagnostic &Diag : Report.Diags)
+      Combined.Diags.push_back(Diag);
+  }
+  RaceDetector Detector(Corun, Model);
+  RaceReport Races = Detector.detect();
+  bool RaceFree = validateCorunRaceFree(Corun, Model);
+  bool Disagreement =
+      Combined.errorCount() == 0 && Races.clean() && !RaceFree;
+
+  std::printf("%s co-run [", Config.Name.c_str());
+  for (size_t A = 0; A != Corun.Agents.size(); ++A)
+    std::printf("%s%s", A == 0 ? "" : ", ",
+                kernelName(Corun.Agents[A].Kernel));
+  std::printf("]");
+  if (!Corun.SharedBases.empty()) {
+    std::printf(" sharing [");
+    for (size_t I = 0; I != Corun.SharedBases.size(); ++I)
+      std::printf("%s%s", I == 0 ? "" : ", ",
+                  Corun.SharedBases[I].c_str());
+    std::printf("]");
+  }
+  std::printf(": %u error(s), %u warning(s), %s; dynamic replay %s\n",
+              Combined.errorCount(), Combined.warningCount(),
+              Races.summary().c_str(), RaceFree ? "race-free" : "RACY");
+  printCapped(Text + Races.render(), MaxDiagnostics);
+  if (Disagreement)
+    std::printf("disagreement: static-clean but dynamically racy under "
+                "%s consistency\n",
+                consistencyModelName(Model));
+  if (!JsonPath.empty()) {
+    LintJsonPoint Point;
+    Point.System = Config.Name;
+    for (const CorunAgent &Agent : Corun.Agents)
+      Point.Kernels.push_back(kernelName(Agent.Kernel));
+    Point.SharedBases = Corun.SharedBases;
+    Point.Report = Combined;
+    Point.Races = Races;
+    Point.DynamicallyRaceFree = RaceFree;
+    Point.Disagreement = Disagreement;
+    if (!emitJson(JsonPath, writeLintJson({Point}, Model)))
+      return ExitUsage;
+  }
+  return exitCodeFor(Combined, Races, Disagreement);
+}
+
+int runFuzz(size_t Cases, uint64_t Seed) {
+  FuzzStats Stats = fuzzVerifier(Cases, Seed);
+  std::printf("%s", Stats.render().c_str());
+  return Stats.passed() ? ExitClean : ExitRaces;
 }
 
 } // namespace
@@ -127,10 +307,17 @@ int lintPoint(const SystemConfig &Config, KernelId Kernel, bool Dot,
 int main(int Argc, char **Argv) {
   std::string System;
   std::string Kernel;
+  std::string CorunKernels;
+  std::string Share;
   std::string ModelName = "weak";
+  std::string JsonPath;
   ConfigStore Overrides;
   unsigned Jobs = 0;
+  size_t MaxDiagnostics = 0;
+  size_t FuzzCases = 0;
+  uint64_t Seed = 1;
   bool Dot = false;
+  bool Fuzz = false;
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -149,13 +336,35 @@ int main(int Argc, char **Argv) {
     } else if (Arg == "--kernel") {
       if (!TakeValue(Kernel))
         return usage();
+    } else if (Arg == "--corun") {
+      if (!TakeValue(CorunKernels))
+        return usage();
+    } else if (Arg == "--share") {
+      if (!TakeValue(Share))
+        return usage();
     } else if (Arg == "--model") {
       if (!TakeValue(ModelName))
+        return usage();
+    } else if (Arg == "--json") {
+      if (!TakeValue(JsonPath))
         return usage();
     } else if (Arg == "--jobs") {
       if (!TakeValue(Value))
         return usage();
       Jobs = unsigned(std::strtoul(Value.c_str(), nullptr, 0));
+    } else if (Arg == "--max-diagnostics") {
+      if (!TakeValue(Value))
+        return usage();
+      MaxDiagnostics = std::strtoul(Value.c_str(), nullptr, 0);
+    } else if (Arg == "--fuzz") {
+      if (!TakeValue(Value))
+        return usage();
+      Fuzz = true;
+      FuzzCases = std::strtoul(Value.c_str(), nullptr, 0);
+    } else if (Arg == "--seed") {
+      if (!TakeValue(Value))
+        return usage();
+      Seed = std::strtoull(Value.c_str(), nullptr, 0);
     } else if (Arg == "--dot") {
       Dot = true;
     } else if (Arg.find('=') != std::string::npos) {
@@ -170,23 +379,56 @@ int main(int Argc, char **Argv) {
   if (!modelByName(ModelName, Model)) {
     std::fprintf(stderr, "error: unknown consistency model '%s'\n",
                  ModelName.c_str());
-    return 2;
+    return ExitUsage;
+  }
+
+  if (Fuzz) {
+    if (FuzzCases == 0) {
+      std::fprintf(stderr, "error: --fuzz needs a positive case count\n");
+      return ExitUsage;
+    }
+    return runFuzz(FuzzCases, Seed);
+  }
+
+  if (!CorunKernels.empty()) {
+    if (System.empty() || !Kernel.empty())
+      return usage();
+    SystemConfig Config;
+    if (!systemByName(System, Config, Overrides)) {
+      std::fprintf(stderr, "error: unknown system '%s'\n", System.c_str());
+      return ExitUsage;
+    }
+    std::vector<KernelId> Ids;
+    for (const std::string &Name : splitList(CorunKernels)) {
+      KernelId Id;
+      if (!kernelByName(Name.c_str(), Id)) {
+        std::fprintf(stderr, "error: unknown kernel '%s'\n", Name.c_str());
+        return ExitUsage;
+      }
+      Ids.push_back(Id);
+    }
+    if (Ids.empty()) {
+      std::fprintf(stderr, "error: --corun needs at least one kernel\n");
+      return ExitUsage;
+    }
+    return lintCorun(Config, Ids, splitList(Share), Model, JsonPath,
+                     MaxDiagnostics);
   }
 
   if (System.empty() != Kernel.empty())
     return usage();
   if (System.empty())
-    return lintAll(Jobs, Model);
+    return lintAll(Jobs, Model, JsonPath);
 
   SystemConfig Config;
   if (!systemByName(System, Config, Overrides)) {
     std::fprintf(stderr, "error: unknown system '%s'\n", System.c_str());
-    return 2;
+    return ExitUsage;
   }
   KernelId Id;
   if (!kernelByName(Kernel.c_str(), Id)) {
     std::fprintf(stderr, "error: unknown kernel '%s'\n", Kernel.c_str());
-    return 2;
+    return ExitUsage;
   }
-  return lintPoint(Config, Id, Dot, Model);
+  return lintPoint(Config, Id, Dot, Model, JsonPath, MaxDiagnostics);
 }

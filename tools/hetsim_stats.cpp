@@ -3,8 +3,9 @@
 /// \file
 /// Validates and summarizes the metrics JSON artifacts the simulator
 /// emits (`hetsim run --metrics out.json`, or a sweep dump named by
-/// $HETSIM_METRICS_JSON). Both the single-run "hetsim-metrics-v1" and
-/// the sweep "hetsim-sweep-metrics-v1" schemas are accepted.
+/// $HETSIM_METRICS_JSON). The single-run "hetsim-metrics-v1", the sweep
+/// "hetsim-sweep-metrics-v1", and the linter's "hetsim-lint-v1"
+/// (`hetsim_lint --json`) schemas are all accepted.
 ///
 /// usage:
 ///   hetsim_stats validate <file.json>            schema check only
@@ -12,11 +13,13 @@
 ///   hetsim_stats audit <file.json>               conservation verdicts
 ///
 /// Exit status is nonzero on unreadable files, schema violations, and
-/// (for audit) any point whose run.conservation_ok is not 1 — so CI can
-/// gate on it directly.
+/// (for audit) any point whose run.conservation_ok is not 1 — or, for a
+/// lint document, any error, race, or disagreement — so CI can gate on
+/// it directly.
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/LintJson.h"
 #include "obs/Json.h"
 #include "obs/Metrics.h"
 
@@ -43,6 +46,64 @@ struct PointView {
   std::string Label;
   const JsonValue *Metrics = nullptr;
 };
+
+/// True when \p Text carries the linter's diagnostics schema rather than
+/// a metrics document.
+bool isLintDocument(const std::string &Text) {
+  JsonValue Doc;
+  std::string Error;
+  if (!parseJson(Text, Doc, Error))
+    return false;
+  const JsonValue *Schema = Doc.find("schema");
+  return Schema && Schema->isString() &&
+         Schema->StringValue == "hetsim-lint-v1";
+}
+
+/// Prints per-point lint verdicts; returns the number of points with
+/// errors, races, or disagreements.
+size_t summarizeLintPoints(const JsonValue &Doc) {
+  size_t Dirty = 0;
+  const JsonValue *Points = Doc.find("points");
+  for (const JsonValue &Point : Points->Elements) {
+    std::string Label = Point.find("system")->StringValue + " /";
+    for (const JsonValue &Kernel : Point.find("kernels")->Elements)
+      Label += " " + Kernel.StringValue;
+    uint64_t Errors = uint64_t(Point.find("errors")->NumberValue);
+    uint64_t Warnings = uint64_t(Point.find("warnings")->NumberValue);
+    uint64_t Races = uint64_t(Point.find("race_count")->NumberValue);
+    bool Disagrees = Point.find("disagreement")->BoolValue;
+    if (Errors != 0 || Races != 0 || Disagrees)
+      ++Dirty;
+    std::printf("%-40s %llu error(s), %llu warning(s), %llu race(s)%s\n",
+                Label.c_str(), (unsigned long long)Errors,
+                (unsigned long long)Warnings, (unsigned long long)Races,
+                Disagrees ? ", DISAGREEMENT" : "");
+  }
+  return Dirty;
+}
+
+/// Loads a "hetsim-lint-v1" document; \p Audit additionally fails on any
+/// error/race/disagreement.
+int handleLintDocument(const std::string &Path, const std::string &Text,
+                       bool Verbose, bool Audit) {
+  std::string Error;
+  if (!validateLintJson(Text, Error)) {
+    std::fprintf(stderr, "error: %s: %s\n", Path.c_str(), Error.c_str());
+    return 1;
+  }
+  JsonValue Doc;
+  parseJson(Text, Doc, Error);
+  size_t Dirty = Verbose || Audit ? summarizeLintPoints(Doc) : 0;
+  const JsonValue *Summary = Doc.find("summary");
+  std::printf("%s: valid lint document (%g points, %g errors, %g "
+              "warnings, %g races, %g disagreements)\n",
+              Path.c_str(), Summary->find("points")->NumberValue,
+              Summary->find("errors")->NumberValue,
+              Summary->find("warnings")->NumberValue,
+              Summary->find("races")->NumberValue,
+              Summary->find("disagreements")->NumberValue);
+  return Audit && Dirty != 0 ? 1 : 0;
+}
 
 /// Loads \p Path, schema-checks it, and flattens it to labelled points.
 /// Returns false after printing a diagnostic.
@@ -82,6 +143,10 @@ bool loadPoints(const std::string &Path, JsonValue &Doc,
 }
 
 int cmdValidate(const std::string &Path) {
+  std::string Text;
+  if (readTextFile(Path, Text) && isLintDocument(Text))
+    return handleLintDocument(Path, Text, /*Verbose=*/false,
+                              /*Audit=*/false);
   JsonValue Doc;
   std::vector<PointView> Points;
   if (!loadPoints(Path, Doc, Points))
@@ -92,6 +157,10 @@ int cmdValidate(const std::string &Path) {
 }
 
 int cmdShow(const std::string &Path, const std::string &Prefix) {
+  std::string Text;
+  if (readTextFile(Path, Text) && isLintDocument(Text))
+    return handleLintDocument(Path, Text, /*Verbose=*/true,
+                              /*Audit=*/false);
   JsonValue Doc;
   std::vector<PointView> Points;
   if (!loadPoints(Path, Doc, Points))
@@ -119,6 +188,10 @@ int cmdShow(const std::string &Path, const std::string &Prefix) {
 }
 
 int cmdAudit(const std::string &Path) {
+  std::string Text;
+  if (readTextFile(Path, Text) && isLintDocument(Text))
+    return handleLintDocument(Path, Text, /*Verbose=*/true,
+                              /*Audit=*/true);
   JsonValue Doc;
   std::vector<PointView> Points;
   if (!loadPoints(Path, Doc, Points))
