@@ -32,14 +32,24 @@ cmake --build build -j "$JOBS" >/dev/null
 ctest --test-dir build -L unit --output-on-failure -j "$JOBS" | tail -3
 ctest --test-dir build -L sweep --output-on-failure -j "$JOBS" | tail -3
 
-echo "== gate 1b: fast-path differential + bench smoke =="
+echo "== gate 1b: fast-path + memfast differential + bench smoke =="
 # The fast path must be bit-identical to the per-record reference
-# (HETSIM_FASTPATH=0 vs =1), and the microbenchmark harness must complete
-# a smoke pass (its fastpath phase self-checks fold equality and fails
-# the run on divergence).
+# (HETSIM_FASTPATH=0 vs =1), the memory-phase fold's exact tier must be
+# bit-identical to the detailed walk (HETSIM_MEMFAST=0 vs =1, all six
+# kernels on all five models — part of the fastpath suite), and the
+# microbenchmark harness must complete a smoke pass (its fastpath phase
+# self-checks fold equality and fails the run on divergence).
 ctest --test-dir build -R fastpath --output-on-failure -j "$JOBS" | tail -3
 HETSIM_TIMING_JSON=build/bench-smoke-timing.json \
   build/bench/hetsim_bench --smoke >/dev/null
+# Memory-phase attribution must survive a smoke pass, and the sampled
+# tier (never used by goldens) must still produce a schema-valid metrics
+# document with its error bound reported.
+HETSIM_TIMING_JSON=build/bench-smoke-timing.json \
+  build/bench/hetsim_bench --smoke --phase memphase >/dev/null
+HETSIM_MEMFAST=sampled build/tools/hetsim run --system CPU+GPU \
+  --kernel reduction --metrics build/memfast-sampled-smoke.json >/dev/null
+build/tools/hetsim_stats validate build/memfast-sampled-smoke.json
 
 echo "== gate 1c: parallel scaling smoke (jobs=2 vs serial) =="
 # A jobs=2 sweep must finish within 1.05x the serial wall — the gate that

@@ -115,6 +115,34 @@ public:
       L->LruStamp += Delta;
   }
 
+  /// Full-state snapshot for the memory-phase fold verifier. Per-line
+  /// tag/state bits plus LRU stamps, the stamp clock, the replacement
+  /// RNG state, and counters — enough to prove a window left the cache
+  /// at a per-period fixed point (see DESIGN.md §11).
+  struct FoldSnap {
+    struct LineSnap {
+      Addr Tag = 0;
+      uint64_t LruStamp = 0;
+      CohState State = CohState::Invalid;
+      bool Valid = false;
+      bool Dirty = false;
+      bool Explicit = false;
+    };
+    std::vector<LineSnap> Lines; // Sets x Ways, row-major.
+    uint64_t NextStamp = 0;
+    uint64_t RngState = 0;
+    CacheStats Stats;
+    unsigned Ways = 0;
+  };
+
+  FoldSnap foldSnapshot() const;
+
+  /// Replays \p Rem more verified steady windows in closed form: every
+  /// line stamp, the stamp clock, and the counters advance by Rem times
+  /// their per-window delta (\p S3 minus \p S2). Only valid after the
+  /// fold verifier accepted the S1/S2/S3 snapshots.
+  void applyFold(const FoldSnap &S2, const FoldSnap &S3, uint64_t Rem);
+
 private:
   struct Line {
     Addr Tag = 0;

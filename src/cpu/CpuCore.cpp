@@ -3,11 +3,15 @@
 #include "cpu/CpuCore.h"
 
 #include "common/FlatMap.h"
+#include "memory/MemFast.h"
 #include "memory/MemorySystem.h"
 #include "trace/ComputeBlock.h"
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
 
 using namespace hetsim;
 
@@ -209,7 +213,14 @@ struct CpuSnap {
   uint64_t PredHistory;
   uint64_t BranchMispredicts, ICacheMisses;
 
-  static CpuSnap of(const CpuPipeline &P) {
+  // Memory-side result scalars and the store buffer, captured only when
+  // the body touches global memory (the memory-phase fold, DESIGN.md §11).
+  uint64_t MemAccesses = 0, MemLatencySum = 0, StoreForwards = 0,
+           PageFaults = 0;
+  Cycle MemLatencyMax = 0, PageFaultCycles = 0;
+  std::vector<std::pair<Addr, Cycle>> StoreDump; ///< Sorted by address.
+
+  static CpuSnap of(const CpuPipeline &P, bool WithMem = false) {
     CpuSnap S;
     S.RegReady = P.RegReady;
     S.RobRetire = P.RobRetire;
@@ -225,6 +236,21 @@ struct CpuSnap {
     S.PredHistory = P.Predictor.history();
     S.BranchMispredicts = P.Result.BranchMispredicts;
     S.ICacheMisses = P.Result.ICacheMisses;
+    if (WithMem) {
+      S.MemAccesses = P.Result.MemAccesses;
+      S.MemLatencySum = P.Result.MemLatencySum;
+      S.MemLatencyMax = P.Result.MemLatencyMax;
+      S.StoreForwards = P.Result.StoreForwards;
+      S.PageFaults = P.Result.PageFaults;
+      S.PageFaultCycles = P.Result.PageFaultCycles;
+      // FlatU64Map iteration is mutable-only; the callback leaves the
+      // buffer untouched.
+      const_cast<FlatU64Map<Cycle> &>(P.StoreBuffer)
+          .forEach([&](uint64_t A, Cycle &C) {
+            S.StoreDump.emplace_back(Addr(A), C);
+          });
+      std::sort(S.StoreDump.begin(), S.StoreDump.end());
+    }
     return S;
   }
 };
@@ -234,6 +260,12 @@ struct CpuFoldPlan {
   Cycle D = 0;                  ///< Uniform cycle advance per repetition.
   std::vector<bool> RegMoves;   ///< Per-register: advances by D (vs inert).
   uint64_t DBm = 0;             ///< Mispredicts per repetition.
+  bool FetchDead = false;       ///< Fetch clock is unobservable dead state.
+
+  // Memory-body extension: per-window deltas of the memory result
+  // scalars and which store-buffer entries translate (vs sit inert).
+  uint64_t DMemAccesses = 0, DMemLatencySum = 0, DStoreForwards = 0;
+  std::vector<Addr> StoreMoves;
 };
 
 /// Verifies that s1 -> s2 -> s3 are two consecutive body boundaries in a
@@ -248,23 +280,57 @@ struct CpuFoldPlan {
 /// DESIGN.md §8 for the induction argument.
 bool checkCpuFold(const CpuSnap &S1, const CpuSnap &S2, const CpuSnap &S3,
                   const std::vector<Addr> &Touch1,
-                  const std::vector<Addr> &Touch2, unsigned RobEntries,
+                  const std::vector<Addr> &Touch2, const CpuConfig &Config,
+                  size_t K, size_t EpilogueRecords, uint64_t Rem,
                   CpuFoldPlan &Plan) {
+  const unsigned RobEntries = Config.RobEntries;
   if (S2.LastRetire < S1.LastRetire)
     return false;
   Cycle D = S2.LastRetire - S1.LastRetire;
   if (S3.LastRetire - S2.LastRetire != D)
     return false;
-  if (S2.FetchCycle - S1.FetchCycle != D ||
-      S3.FetchCycle - S2.FetchCycle != D)
-    return false;
+
+  // The fetch clock either translates with the pipeline (fetch-bound
+  // bodies) or is dead state (latency-bound bodies). A body that retires
+  // D cycles per window while fetching only ~K/FetchWidth of them leaves
+  // the fetch clock trailing the ROB dispatch floor by a gap that grows
+  // every window; a fetch clock at or below that floor can never win the
+  // dispatch max, so its exact value — and the wrap phase in
+  // FetchedThisCycle — is unobservable. Requirements: no mispredict
+  // refetch re-anchors inside the window (those jump fetch up to
+  // Complete+penalty), the per-window fetch advance upper bound DfUB fits
+  // under D so the gap is monotone, the gap at s3 already covers DfUB,
+  // and the end-of-body gap covers the epilogue's worst-case fetch
+  // advance (wraps plus an I-miss penalty per record). If the epilogue
+  // does mispredict, the refetch target Complete+penalty exceeds both
+  // runs' below-floor fetch clocks, so both re-anchor to the identical
+  // value with FetchedThisCycle reset — the states converge exactly.
+  const bool FetchTranslates =
+      S2.FetchCycle - S1.FetchCycle == D &&
+      S3.FetchCycle - S2.FetchCycle == D &&
+      S1.FetchedThisCycle == S2.FetchedThisCycle &&
+      S2.FetchedThisCycle == S3.FetchedThisCycle;
+  bool FetchDead = false;
+  if (!FetchTranslates) {
+    if (S2.BranchMispredicts != S1.BranchMispredicts ||
+        S3.BranchMispredicts != S2.BranchMispredicts)
+      return false;
+    const Cycle Floor3 = S3.RobRetire[S3.RobHead % RobEntries];
+    const Cycle DfUB = Cycle(K / Config.FetchWidth) + 2;
+    const Cycle EpiAdvUB = Cycle(EpilogueRecords / Config.FetchWidth) + 2 +
+                           Cycle(EpilogueRecords) * Config.L1IMissPenalty;
+    if (DfUB > D)
+      return false;
+    if (S3.FetchCycle + DfUB > Floor3)
+      return false;
+    if (Floor3 - (S3.FetchCycle + DfUB) + (D - DfUB) * Rem < EpiAdvUB)
+      return false;
+    FetchDead = true;
+  }
   if (S2.IssueBusyCycle - S1.IssueBusyCycle != D ||
       S3.IssueBusyCycle - S2.IssueBusyCycle != D)
     return false;
 
-  if (S1.FetchedThisCycle != S2.FetchedThisCycle ||
-      S2.FetchedThisCycle != S3.FetchedThisCycle)
-    return false;
   if (S1.IssuedThisCycle != S2.IssuedThisCycle ||
       S2.IssuedThisCycle != S3.IssuedThisCycle)
     return false;
@@ -283,7 +349,7 @@ bool checkCpuFold(const CpuSnap &S1, const CpuSnap &S2, const CpuSnap &S3,
     return false;
   if (S2.ICacheMisses != S1.ICacheMisses ||
       S3.ICacheMisses != S2.ICacheMisses)
-    return false; // Fold only credits hits.
+    return false;
   if (Touch1 != Touch2)
     return false;
 
@@ -321,6 +387,7 @@ bool checkCpuFold(const CpuSnap &S1, const CpuSnap &S2, const CpuSnap &S3,
 
   Plan.D = D;
   Plan.DBm = DBm;
+  Plan.FetchDead = FetchDead;
   return true;
 }
 
@@ -329,7 +396,11 @@ void applyCpuFold(CpuPipeline &Pipe, const CpuFoldPlan &Plan, uint64_t Rem,
                   size_t K, uint64_t BranchesPerRep,
                   const std::vector<Addr> &Touch) {
   const Cycle Adv = Plan.D * Rem;
-  Pipe.FetchCycle += Adv;
+  // A dead fetch clock stays where it is: the reference run's fetch also
+  // trails every dispatch floor through the folded windows and the
+  // epilogue, so neither value is ever observed (checkCpuFold's margin).
+  if (!Plan.FetchDead)
+    Pipe.FetchCycle += Adv;
   Pipe.IssueBusyCycle += Adv;
   Pipe.LastRetire += Adv;
   for (size_t R = 0; R != Pipe.RegReady.size(); ++R)
@@ -363,6 +434,74 @@ void applyCpuFold(CpuPipeline &Pipe, const CpuFoldPlan &Plan, uint64_t Rem,
     for (Addr Line : Distinct)
       Pipe.ICache.advanceLineStamp(Line, A * Rem);
   }
+}
+
+/// The memory-side half of the fixed-point check for bodies that touch
+/// global memory: result scalars must advance by equal per-window deltas,
+/// the observed worst-case latency must already be saturated, and every
+/// store-buffer entry must either translate by D or be provably inert
+/// (constant at or below the issue clock at s1, which only grows — a
+/// forwarding max against it can never win again).
+bool checkCpuMemFold(const CpuSnap &S1, const CpuSnap &S2,
+                     const CpuSnap &S3, CpuFoldPlan &Plan) {
+  uint64_t DMa = S2.MemAccesses - S1.MemAccesses;
+  if (S3.MemAccesses - S2.MemAccesses != DMa)
+    return false;
+  uint64_t DMl = S2.MemLatencySum - S1.MemLatencySum;
+  if (S3.MemLatencySum - S2.MemLatencySum != DMl)
+    return false;
+  uint64_t DFw = S2.StoreForwards - S1.StoreForwards;
+  if (S3.StoreForwards - S2.StoreForwards != DFw)
+    return false;
+  // Faults never fold (they cannot repeat); the observer rejects them by
+  // flag, and the scalar view must agree.
+  if (S1.PageFaults != S3.PageFaults ||
+      S1.PageFaultCycles != S3.PageFaultCycles)
+    return false;
+  // The per-window latency multiset is fixed (identical response logs),
+  // so the max is final iff the second window did not raise it.
+  if (S2.MemLatencyMax != S3.MemLatencyMax)
+    return false;
+
+  if (S1.StoreDump.size() != S2.StoreDump.size() ||
+      S2.StoreDump.size() != S3.StoreDump.size())
+    return false;
+  Plan.StoreMoves.clear();
+  const Cycle Floor = S1.IssueBusyCycle;
+  for (size_t I = 0; I != S1.StoreDump.size(); ++I) {
+    if (S1.StoreDump[I].first != S2.StoreDump[I].first ||
+        S2.StoreDump[I].first != S3.StoreDump[I].first)
+      return false;
+    Cycle D12 = S2.StoreDump[I].second - S1.StoreDump[I].second;
+    Cycle D23 = S3.StoreDump[I].second - S2.StoreDump[I].second;
+    if (D12 != D23)
+      return false;
+    if (D12 == Plan.D) {
+      Plan.StoreMoves.push_back(S1.StoreDump[I].first);
+      continue;
+    }
+    if (D12 == 0 && S1.StoreDump[I].second <= Floor)
+      continue; // Inert: forwarding resolves to IssueCycle + 1 forever.
+    return false;
+  }
+
+  Plan.DMemAccesses = DMa;
+  Plan.DMemLatencySum = DMl;
+  Plan.DStoreForwards = DFw;
+  return true;
+}
+
+/// Applies the memory-side scalars and store-buffer translation for
+/// \p Rem folded repetitions.
+void applyCpuMemFold(CpuPipeline &Pipe, const CpuFoldPlan &Plan,
+                     uint64_t Rem) {
+  Pipe.Result.MemAccesses += Plan.DMemAccesses * Rem;
+  Pipe.Result.MemLatencySum += Plan.DMemLatencySum * Rem;
+  Pipe.Result.StoreForwards += Plan.DStoreForwards * Rem;
+  const Cycle Adv = Plan.D * Rem;
+  for (Addr A : Plan.StoreMoves)
+    if (Cycle *C = Pipe.StoreBuffer.find(A))
+      *C += Adv;
 }
 
 bool spanTouchesGlobalMemory(const TraceBuffer &Body) {
@@ -416,12 +555,98 @@ SegmentResult CpuCore::runWindowed(const BlockTrace &Block,
   if (Result.Insts == 0)
     return Result;
 
+  if (Mem.memFastModeCached() == MemFastMode::Sampled &&
+      Block.kind() != BlockTrace::Kind::Pattern &&
+      Block.generator().streamStructure().SteadyStride &&
+      Result.Insts >= 8 * ComputeWindowRecords)
+    return runSampled(Block, StartCycle);
+
   CpuPipeline Pipe(Config, Mem, Predictor, ICache, Result, StartCycle);
   BlockExpander Expander(Block);
   TraceBuffer Window;
   while (!Expander.done()) {
     BlockExpander::Span Span = Expander.nextSpan(Window);
     Pipe.runSpan(Span.Data, size_t(Span.Count));
+  }
+
+  assert(Pipe.LastRetire >= StartCycle && "time went backwards");
+  Result.Cycles = Pipe.LastRetire - StartCycle;
+  return Result;
+}
+
+/// The sampled memory tier (HETSIM_MEMFAST=sampled, DESIGN.md §11):
+/// simulate a few warm-up windows in full, then alternate one re-warm
+/// window, one measured window, and a burst of skipped windows whose time
+/// and counters are extrapolated from the measured window's per-record
+/// rates. Skipped records never touch the memory system; the reported
+/// error bound is the skipped records' spread between the best and worst
+/// measured rates. Never used by goldens.
+SegmentResult CpuCore::runSampled(const BlockTrace &Block,
+                                  Cycle StartCycle) {
+  SegmentResult Result;
+  Result.Insts = Block.totalRecords();
+
+  CpuPipeline Pipe(Config, Mem, Predictor, ICache, Result, StartCycle);
+  BlockExpander Expander(Block);
+  TraceBuffer Window;
+  MemorySystem::MemFastCounters &MFC = Mem.memfastCounters();
+  const unsigned SkipN = memFastSampleSkip();
+
+  double RateMin = 0, RateMax = 0;
+  bool HaveRate = false;
+  unsigned WarmLeft = 4;
+  while (!Expander.done()) {
+    if (WarmLeft != 0) {
+      BlockExpander::Span Span = Expander.nextWindow(Window);
+      Pipe.runSpan(Span.Data, size_t(Span.Count));
+      --WarmLeft;
+      continue;
+    }
+
+    // Measure one window.
+    const Cycle C0 = Pipe.LastRetire;
+    const SegmentResult R0 = Result;
+    BlockExpander::Span Span = Expander.nextWindow(Window);
+    Pipe.runSpan(Span.Data, size_t(Span.Count));
+    const uint64_t Nm = Span.Count;
+    if (Nm == 0)
+      break;
+    const Cycle Dm = Pipe.LastRetire - C0;
+    const uint64_t DMa = Result.MemAccesses - R0.MemAccesses;
+    const uint64_t DMl = Result.MemLatencySum - R0.MemLatencySum;
+    const uint64_t DBm = Result.BranchMispredicts - R0.BranchMispredicts;
+    const uint64_t DIc = Result.ICacheMisses - R0.ICacheMisses;
+    const uint64_t DFw = Result.StoreForwards - R0.StoreForwards;
+    const double Rate = double(Dm) / double(Nm);
+    RateMin = HaveRate ? std::min(RateMin, Rate) : Rate;
+    RateMax = HaveRate ? std::max(RateMax, Rate) : Rate;
+    HaveRate = true;
+
+    // Skip a burst, extrapolating the measured rates.
+    uint64_t SkipRecords = 0;
+    for (unsigned I = 0; I != SkipN && !Expander.done(); ++I)
+      SkipRecords += Expander.skip(Window);
+    if (SkipRecords != 0) {
+      const Cycle Adv = Dm * SkipRecords / Nm;
+      Pipe.FetchCycle += Adv;
+      Pipe.IssueBusyCycle += Adv;
+      Pipe.LastRetire += Adv;
+      for (Cycle &C : Pipe.RegReady)
+        C += Adv;
+      for (Cycle &C : Pipe.RobRetire)
+        C += Adv;
+      Pipe.RobHead += SkipRecords;
+      Result.MemAccesses += DMa * SkipRecords / Nm;
+      Result.MemLatencySum += DMl * SkipRecords / Nm;
+      Result.BranchMispredicts += DBm * SkipRecords / Nm;
+      Result.ICacheMisses += DIc * SkipRecords / Nm;
+      Result.StoreForwards += DFw * SkipRecords / Nm;
+      Result.SampledRecords += SkipRecords;
+      Result.SampledErrorCycles += double(SkipRecords) * (RateMax - RateMin);
+      ++*MFC.SampledWindows;
+      *MFC.SampledRecords += SkipRecords;
+      WarmLeft = 1; // Re-warm before the next measurement.
+    }
   }
 
   assert(Pipe.LastRetire >= StartCycle && "time went backwards");
@@ -442,33 +667,77 @@ SegmentResult CpuCore::runPatternBlock(const BlockTrace &Block,
 
   const size_t K = P.Body.size();
   uint64_t Done = 0;
-  // The fold is attempted only for bodies with no global-memory records:
-  // cache/TLB/DRAM evolution is aperiodic, so such iterations must run
-  // through the full model. (All six production kernels load or store
-  // every iteration; explicit Pattern workloads are where this fires.)
-  if (K != 0 && P.BodyRepeats > 0 && !spanTouchesGlobalMemory(P.Body)) {
-    // Warm until every ROB slot was written from steady-state body code,
-    // then observe two full windows.
-    const uint64_t Warmup = (Config.RobEntries + K - 1) / K + 2;
+  // Compute-only bodies fold on pipeline state alone. Bodies with
+  // global-memory records additionally need the whole memory system at a
+  // verified per-period fixed point (the memory-phase fold, DESIGN.md
+  // §11); that path is gated on HETSIM_MEMFAST — Off preserves the
+  // detailed walk for every memory access, the bit-exact oracle.
+  const bool MemBody = spanTouchesGlobalMemory(P.Body);
+  const MemFastMode MF = Mem.memFastModeCached();
+  const bool TryFold =
+      K != 0 && P.BodyRepeats > 0 &&
+      (!MemBody || MF == MemFastMode::Exact || MF == MemFastMode::Warm);
+  if (TryFold) {
+    // Warm until every ROB slot was written from steady-state body code
+    // (plus two extra windows for cache/TLB contents to settle), then
+    // observe two full windows.
+    const uint64_t Warmup =
+        (Config.RobEntries + K - 1) / K + 2 + (MemBody ? 2 : 0);
     if (P.BodyRepeats >= Warmup + 3) {
       for (; Done != Warmup; ++Done)
         Pipe.runSpan(P.Body.records().data(), K);
-      CpuSnap S1 = CpuSnap::of(Pipe);
+      std::unique_ptr<MemFoldObserver> Obs;
+      if (MemBody) {
+        ++*Mem.memfastCounters().FoldAttempts;
+        Obs.reset(new MemFoldObserver(Mem, PuKind::Cpu));
+        Obs->snapshot(0);
+      }
+      CpuSnap S1 = CpuSnap::of(Pipe, MemBody);
       std::vector<Addr> Touch1, Touch2;
       Pipe.TouchLog = &Touch1;
+      if (Obs)
+        Obs->beginLog(0);
       Pipe.runSpan(P.Body.records().data(), K);
       ++Done;
-      CpuSnap S2 = CpuSnap::of(Pipe);
+      if (Obs) {
+        Obs->endLog();
+        Obs->snapshot(1);
+      }
+      CpuSnap S2 = CpuSnap::of(Pipe, MemBody);
       Pipe.TouchLog = &Touch2;
+      if (Obs)
+        Obs->beginLog(1);
       Pipe.runSpan(P.Body.records().data(), K);
       ++Done;
-      CpuSnap S3 = CpuSnap::of(Pipe);
+      if (Obs) {
+        Obs->endLog();
+        Obs->snapshot(2);
+      }
+      CpuSnap S3 = CpuSnap::of(Pipe, MemBody);
       Pipe.TouchLog = nullptr;
 
       CpuFoldPlan Plan;
-      if (checkCpuFold(S1, S2, S3, Touch1, Touch2, Config.RobEntries,
-                       Plan)) {
-        uint64_t Rem = P.BodyRepeats - Done;
+      bool Ok = checkCpuFold(S1, S2, S3, Touch1, Touch2, Config, K,
+                             P.Epilogue.size(), P.BodyRepeats - Done, Plan);
+      if (Obs) {
+        MemFoldReason Reason = MemFoldReason::PipelineDrift;
+        if (Ok && !checkCpuMemFold(S1, S2, S3, Plan))
+          Ok = false; // Core-side memory state (store buffer) drifted.
+        if (Ok)
+          Ok = Obs->check(Plan.D, S1.IssueBusyCycle, Reason);
+        if (Ok) {
+          const uint64_t Rem = P.BodyRepeats - Done;
+          applyCpuFold(Pipe, Plan, Rem, K, countBranches(P.Body), Touch2);
+          applyCpuMemFold(Pipe, Plan, Rem);
+          Obs->apply(Rem);
+          ++*Mem.memfastCounters().Folds;
+          *Mem.memfastCounters().FoldedRecords += K * Rem;
+          Done = P.BodyRepeats;
+        } else {
+          ++*Mem.memfastCounters().Fallback[unsigned(Reason)];
+        }
+      } else if (Ok) {
+        const uint64_t Rem = P.BodyRepeats - Done;
         applyCpuFold(Pipe, Plan, Rem, K, countBranches(P.Body), Touch2);
         Done = P.BodyRepeats;
       }

@@ -5,11 +5,13 @@
 #include "cache/Scratchpad.h"
 #include "common/Error.h"
 #include "gpu/Coalescer.h"
+#include "memory/MemFast.h"
 #include "memory/MemorySystem.h"
 #include "trace/ComputeBlock.h"
 
 #include <algorithm>
 #include <cassert>
+#include <memory>
 #include <vector>
 
 using namespace hetsim;
@@ -148,7 +150,14 @@ struct GpuSnap {
   uint64_t BranchMispredicts;
   uint64_t SmemReads, SmemWrites, SmemConflicts;
 
-  static GpuSnap of(const GpuPipeline &P, const Scratchpad &Smem) {
+  // Memory-body extension (DESIGN.md §11): outstanding completions per
+  // warp and the memory result scalars.
+  std::vector<std::vector<Cycle>> Pending;
+  uint64_t MemAccesses = 0, MemLatencySum = 0, PageFaults = 0;
+  Cycle MemLatencyMax = 0, PageFaultCycles = 0;
+
+  static GpuSnap of(const GpuPipeline &P, const Scratchpad &Smem,
+                    bool WithMem = false) {
     GpuSnap S;
     S.RegReady.reserve(P.Warps.size());
     for (const WarpState &Warp : P.Warps) {
@@ -161,6 +170,16 @@ struct GpuSnap {
     S.SmemReads = Smem.readCount();
     S.SmemWrites = Smem.writeCount();
     S.SmemConflicts = Smem.bankConflictCount();
+    if (WithMem) {
+      S.Pending.reserve(P.Warps.size());
+      for (const WarpState &Warp : P.Warps)
+        S.Pending.push_back(Warp.Pending);
+      S.MemAccesses = P.Result.MemAccesses;
+      S.MemLatencySum = P.Result.MemLatencySum;
+      S.MemLatencyMax = P.Result.MemLatencyMax;
+      S.PageFaults = P.Result.PageFaults;
+      S.PageFaultCycles = P.Result.PageFaultCycles;
+    }
     return S;
   }
 };
@@ -170,6 +189,7 @@ struct GpuFoldPlan {
   std::vector<std::vector<bool>> RegMoves; // Per warp, per register.
   uint64_t DBm = 0;
   uint64_t DSmemReads = 0, DSmemWrites = 0, DSmemConflicts = 0;
+  uint64_t DMemAccesses = 0, DMemLatencySum = 0;
 };
 
 /// GPU analogue of the CPU fixed-point check: both observed windows must
@@ -243,6 +263,52 @@ void applyGpuFold(GpuPipeline &Pipe, const GpuFoldPlan &Plan, uint64_t Rem,
                     Plan.DSmemConflicts * Rem);
 }
 
+/// The memory-side half of the GPU fixed-point check. Outstanding
+/// completions must translate strictly by D: an entry sitting constant in
+/// a warp that issues memory operations would eventually fall at or below
+/// the growing retire clock, get dropped, and change the occupancy stall
+/// behaviour of extrapolated windows — so no inert tier exists here.
+bool checkGpuMemFold(const GpuSnap &S1, const GpuSnap &S2,
+                     const GpuSnap &S3, GpuFoldPlan &Plan) {
+  uint64_t DMa = S2.MemAccesses - S1.MemAccesses;
+  if (S3.MemAccesses - S2.MemAccesses != DMa)
+    return false;
+  uint64_t DMl = S2.MemLatencySum - S1.MemLatencySum;
+  if (S3.MemLatencySum - S2.MemLatencySum != DMl)
+    return false;
+  if (S1.PageFaults != S3.PageFaults ||
+      S1.PageFaultCycles != S3.PageFaultCycles)
+    return false;
+  if (S2.MemLatencyMax != S3.MemLatencyMax)
+    return false;
+
+  const size_t W = S1.Pending.size();
+  for (size_t Wi = 0; Wi != W; ++Wi) {
+    if (S1.Pending[Wi].size() != S2.Pending[Wi].size() ||
+        S2.Pending[Wi].size() != S3.Pending[Wi].size())
+      return false;
+    for (size_t I = 0; I != S1.Pending[Wi].size(); ++I) {
+      if (S2.Pending[Wi][I] - S1.Pending[Wi][I] != Plan.D ||
+          S3.Pending[Wi][I] - S2.Pending[Wi][I] != Plan.D)
+        return false;
+    }
+  }
+
+  Plan.DMemAccesses = DMa;
+  Plan.DMemLatencySum = DMl;
+  return true;
+}
+
+void applyGpuMemFold(GpuPipeline &Pipe, const GpuFoldPlan &Plan,
+                     uint64_t Rem) {
+  Pipe.Result.MemAccesses += Plan.DMemAccesses * Rem;
+  Pipe.Result.MemLatencySum += Plan.DMemLatencySum * Rem;
+  const Cycle Adv = Plan.D * Rem;
+  for (WarpState &Warp : Pipe.Warps)
+    for (Cycle &C : Warp.Pending)
+      C += Adv;
+}
+
 bool gpuSpanTouchesGlobalMemory(const TraceBuffer &Body) {
   for (const TraceRecord &R : Body)
     if (isGlobalMemoryOp(R.Op))
@@ -289,12 +355,93 @@ SegmentResult GpuCore::runWindowed(const BlockTrace &Block,
   if (Result.Insts == 0)
     return Result;
 
+  if (Mem.memFastModeCached() == MemFastMode::Sampled &&
+      Block.kind() != BlockTrace::Kind::Pattern &&
+      Block.generator().streamStructure().SteadyStride &&
+      Result.Insts >= 8 * ComputeWindowRecords)
+    return runSampled(Block, StartCycle);
+
   GpuPipeline Pipe(Config, Mem, Result, StartCycle);
   BlockExpander Expander(Block);
   TraceBuffer Window;
   while (!Expander.done()) {
     BlockExpander::Span Span = Expander.nextSpan(Window);
     Pipe.runSpan(Span.Data, size_t(Span.Count));
+  }
+
+  assert(Pipe.LastComplete >= StartCycle && "time went backwards");
+  Cycle CriticalPath = Pipe.LastComplete - StartCycle;
+  Cycle BandwidthFloor = ceilDiv(Result.Insts, Config.IssueWidth);
+  Result.Cycles = std::max(CriticalPath, BandwidthFloor);
+  return Result;
+}
+
+/// GPU half of the sampled memory tier (DESIGN.md §11): same schedule as
+/// the CPU one — warm, measure, skip — with the whole warp array
+/// translated by the extrapolated advance. Skipped records keep the
+/// record-to-warp striping aligned via Index. Never used by goldens.
+SegmentResult GpuCore::runSampled(const BlockTrace &Block,
+                                  Cycle StartCycle) {
+  SegmentResult Result;
+  Result.Insts = Block.totalRecords();
+
+  GpuPipeline Pipe(Config, Mem, Result, StartCycle);
+  BlockExpander Expander(Block);
+  TraceBuffer Window;
+  MemorySystem::MemFastCounters &MFC = Mem.memfastCounters();
+  const unsigned SkipN = memFastSampleSkip();
+
+  double RateMin = 0, RateMax = 0;
+  bool HaveRate = false;
+  unsigned WarmLeft = 4;
+  while (!Expander.done()) {
+    if (WarmLeft != 0) {
+      BlockExpander::Span Span = Expander.nextWindow(Window);
+      Pipe.runSpan(Span.Data, size_t(Span.Count));
+      --WarmLeft;
+      continue;
+    }
+
+    const Cycle C0 = Pipe.LastComplete;
+    const SegmentResult R0 = Result;
+    BlockExpander::Span Span = Expander.nextWindow(Window);
+    Pipe.runSpan(Span.Data, size_t(Span.Count));
+    const uint64_t Nm = Span.Count;
+    if (Nm == 0)
+      break;
+    const Cycle Dm = Pipe.LastComplete - C0;
+    const uint64_t DMa = Result.MemAccesses - R0.MemAccesses;
+    const uint64_t DMl = Result.MemLatencySum - R0.MemLatencySum;
+    const uint64_t DBm = Result.BranchMispredicts - R0.BranchMispredicts;
+    const double Rate = double(Dm) / double(Nm);
+    RateMin = HaveRate ? std::min(RateMin, Rate) : Rate;
+    RateMax = HaveRate ? std::max(RateMax, Rate) : Rate;
+    HaveRate = true;
+
+    uint64_t SkipRecords = 0;
+    for (unsigned I = 0; I != SkipN && !Expander.done(); ++I)
+      SkipRecords += Expander.skip(Window);
+    if (SkipRecords != 0) {
+      const Cycle Adv = Dm * SkipRecords / Nm;
+      Pipe.LastComplete += Adv;
+      for (WarpState &Warp : Pipe.Warps) {
+        Warp.NextIssue += Adv;
+        Warp.LastComplete += Adv;
+        for (Cycle &C : Warp.RegReady)
+          C += Adv;
+        for (Cycle &C : Warp.Pending)
+          C += Adv;
+      }
+      Pipe.Index += SkipRecords;
+      Result.MemAccesses += DMa * SkipRecords / Nm;
+      Result.MemLatencySum += DMl * SkipRecords / Nm;
+      Result.BranchMispredicts += DBm * SkipRecords / Nm;
+      Result.SampledRecords += SkipRecords;
+      Result.SampledErrorCycles += double(SkipRecords) * (RateMax - RateMin);
+      ++*MFC.SampledWindows;
+      *MFC.SampledRecords += SkipRecords;
+      WarmLeft = 1;
+    }
   }
 
   assert(Pipe.LastComplete >= StartCycle && "time went backwards");
@@ -318,28 +465,75 @@ SegmentResult GpuCore::runPatternBlock(const BlockTrace &Block,
   const size_t K = P.Body.size();
   const uint64_t Rotation = uint64_t(Pipe.Chunk) * Pipe.W;
   uint64_t Done = 0;
-  // Fold preconditions: the body must contain no global-memory records
-  // (cache/TLB/DRAM evolution is aperiodic) and must be a whole number of
-  // warp rotations, so every repetition stripes records onto warps the
-  // same way. Scratchpad traffic is fine — its timing is stateless and
-  // its counters extrapolate linearly.
-  if (K != 0 && P.BodyRepeats > 0 && K % Rotation == 0 &&
-      !gpuSpanTouchesGlobalMemory(P.Body)) {
-    const uint64_t Warmup = 3;
+  // Fold preconditions: the body must be a whole number of warp
+  // rotations, so every repetition stripes records onto warps the same
+  // way. Scratchpad traffic is fine — its timing is stateless and its
+  // counters extrapolate linearly. Bodies with global-memory records
+  // additionally need the whole memory system at a verified per-period
+  // fixed point (the memory-phase fold, DESIGN.md §11), gated on
+  // HETSIM_MEMFAST.
+  const bool MemBody = gpuSpanTouchesGlobalMemory(P.Body);
+  const MemFastMode MF = Mem.memFastModeCached();
+  const bool TryFold =
+      K != 0 && P.BodyRepeats > 0 && K % Rotation == 0 &&
+      (!MemBody || MF == MemFastMode::Exact || MF == MemFastMode::Warm);
+  if (TryFold) {
+    const uint64_t Warmup = 3 + (MemBody ? 2 : 0);
     if (P.BodyRepeats >= Warmup + 3) {
       Scratchpad &Smem = Mem.scratchpad();
       for (; Done != Warmup; ++Done)
         Pipe.runSpan(P.Body.records().data(), K);
-      GpuSnap S1 = GpuSnap::of(Pipe, Smem);
+      std::unique_ptr<MemFoldObserver> Obs;
+      if (MemBody) {
+        ++*Mem.memfastCounters().FoldAttempts;
+        Obs.reset(new MemFoldObserver(Mem, PuKind::Gpu));
+        Obs->snapshot(0);
+      }
+      GpuSnap S1 = GpuSnap::of(Pipe, Smem, MemBody);
+      if (Obs)
+        Obs->beginLog(0);
       Pipe.runSpan(P.Body.records().data(), K);
       ++Done;
-      GpuSnap S2 = GpuSnap::of(Pipe, Smem);
+      if (Obs) {
+        Obs->endLog();
+        Obs->snapshot(1);
+      }
+      GpuSnap S2 = GpuSnap::of(Pipe, Smem, MemBody);
+      if (Obs)
+        Obs->beginLog(1);
       Pipe.runSpan(P.Body.records().data(), K);
       ++Done;
-      GpuSnap S3 = GpuSnap::of(Pipe, Smem);
+      if (Obs) {
+        Obs->endLog();
+        Obs->snapshot(2);
+      }
+      GpuSnap S3 = GpuSnap::of(Pipe, Smem, MemBody);
 
       GpuFoldPlan Plan;
-      if (checkGpuFold(S1, S2, S3, Plan)) {
+      bool Ok = checkGpuFold(S1, S2, S3, Plan);
+      if (Obs) {
+        MemFoldReason Reason = MemFoldReason::PipelineDrift;
+        if (Ok && !checkGpuMemFold(S1, S2, S3, Plan))
+          Ok = false; // Core-side memory state (pending loads) drifted.
+        if (Ok) {
+          // The smallest GPU cycle any future access can carry: every
+          // warp's issue clock only grows.
+          Cycle FloorPu =
+              *std::min_element(S1.NextIssue.begin(), S1.NextIssue.end());
+          Ok = Obs->check(Plan.D, FloorPu, Reason);
+        }
+        if (Ok) {
+          const uint64_t Rem = P.BodyRepeats - Done;
+          applyGpuFold(Pipe, Plan, Rem, K, Smem);
+          applyGpuMemFold(Pipe, Plan, Rem);
+          Obs->apply(Rem);
+          ++*Mem.memfastCounters().Folds;
+          *Mem.memfastCounters().FoldedRecords += K * Rem;
+          Done = P.BodyRepeats;
+        } else {
+          ++*Mem.memfastCounters().Fallback[unsigned(Reason)];
+        }
+      } else if (Ok) {
         uint64_t Rem = P.BodyRepeats - Done;
         applyGpuFold(Pipe, Plan, Rem, K, Smem);
         Done = P.BodyRepeats;

@@ -64,6 +64,7 @@ public:
 private:
   SegmentResult runWindowed(const BlockTrace &Block, Cycle StartCycle);
   SegmentResult runPatternBlock(const BlockTrace &Block, Cycle StartCycle);
+  SegmentResult runSampled(const BlockTrace &Block, Cycle StartCycle);
 
   GpuConfig Config;
   MemorySystem &Mem;

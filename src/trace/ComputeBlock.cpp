@@ -325,3 +325,34 @@ BlockExpander::Span BlockExpander::nextSpan(TraceBuffer &Window,
   uint64_t Emitted = next(Window, Target);
   return {Window.records().data(), Emitted};
 }
+
+BlockExpander::Span BlockExpander::nextWindow(TraceBuffer &Window,
+                                              size_t Target) {
+  if (Remaining == 0)
+    return {};
+  if (FromMat) {
+    const TraceBuffer &M = Block.materialized();
+    uint64_t Run = std::min<uint64_t>(Remaining, Target);
+    Span Out{M.records().data() + MatPos, Run};
+    MatPos += Run;
+    Remaining -= Run;
+    return Out;
+  }
+  uint64_t Emitted = next(Window, Target);
+  return {Window.records().data(), Emitted};
+}
+
+uint64_t BlockExpander::skip(TraceBuffer &Scratch, size_t Target) {
+  if (Remaining == 0)
+    return 0;
+  if (FromMat) {
+    uint64_t Run = std::min<uint64_t>(Remaining, Target);
+    MatPos += Run;
+    Remaining -= Run;
+    return Run;
+  }
+  // No reuse buffer: the records must still be produced so the generator
+  // state (cursors, RNG) and any in-flight tee advance exactly; only the
+  // core simulation is skipped.
+  return next(Scratch, Target);
+}

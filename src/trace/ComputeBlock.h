@@ -212,6 +212,17 @@ public:
   /// buffer without touching \p Window or the generator.
   Span nextSpan(TraceBuffer &Window, size_t Target = ComputeWindowRecords);
 
+  /// Sampled-mode stepping (DESIGN.md §11): like nextSpan, but bounded to
+  /// ~\p Target records even on the zero-copy reuse path, so the caller
+  /// can window-sample the stream.
+  Span nextWindow(TraceBuffer &Window, size_t Target = ComputeWindowRecords);
+
+  /// Advances the stream by ~\p Target records without handing them to a
+  /// core. Free on the reuse path (a cursor bump); otherwise the records
+  /// are generated into \p Scratch — keeping generator state and any
+  /// in-flight tee exact — and discarded. Returns the records skipped.
+  uint64_t skip(TraceBuffer &Scratch, size_t Target = ComputeWindowRecords);
+
 private:
   /// Appends a generated window to the in-flight tee buffer and installs
   /// it on the block once the stream is drained.

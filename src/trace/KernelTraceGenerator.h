@@ -148,6 +148,16 @@ struct GenState {
   uint64_t Iter = 0;
 };
 
+/// Coarse structural facts a generator announces about the record stream
+/// it emits. Approximate execution modes (the sampled memory tier,
+/// DESIGN.md §11) gate on these instead of probing the stream.
+struct StreamStructure {
+  /// The stream is a long loop with a fixed per-iteration record shape
+  /// and steady address strides, so windowed time-sampling extrapolates
+  /// meaningfully between measured windows.
+  bool SteadyStride = false;
+};
+
 /// Base class for the six kernel generators.
 class KernelTraceGenerator {
 public:
@@ -155,6 +165,10 @@ public:
 
   /// The kernel this generator models.
   virtual KernelId kernel() const = 0;
+
+  /// Structural facts about the emitted stream (conservative default:
+  /// nothing is promised).
+  virtual StreamStructure streamStructure() const { return {}; }
 
   /// Produces exactly Req.InstCount records of compute for Req.Pu.
   TraceBuffer generateCompute(const GenRequest &Req,
@@ -222,6 +236,7 @@ protected:
 class ReductionGenerator final : public KernelTraceGenerator {
 public:
   KernelId kernel() const override { return KernelId::Reduction; }
+  StreamStructure streamStructure() const override { return {true}; }
 
 protected:
   void setUpCursors(GenState &S, const KernelDataLayout &L,
@@ -233,6 +248,7 @@ protected:
 class MatrixMulGenerator final : public KernelTraceGenerator {
 public:
   KernelId kernel() const override { return KernelId::MatrixMul; }
+  StreamStructure streamStructure() const override { return {true}; }
 
 protected:
   void setUpCursors(GenState &S, const KernelDataLayout &L,
@@ -244,6 +260,7 @@ protected:
 class ConvolutionGenerator final : public KernelTraceGenerator {
 public:
   KernelId kernel() const override { return KernelId::Convolution; }
+  StreamStructure streamStructure() const override { return {true}; }
 
 protected:
   void setUpCursors(GenState &S, const KernelDataLayout &L,
@@ -255,6 +272,7 @@ protected:
 class DctGenerator final : public KernelTraceGenerator {
 public:
   KernelId kernel() const override { return KernelId::Dct; }
+  StreamStructure streamStructure() const override { return {true}; }
 
 protected:
   void setUpCursors(GenState &S, const KernelDataLayout &L,
@@ -266,6 +284,7 @@ protected:
 class MergeSortGenerator final : public KernelTraceGenerator {
 public:
   KernelId kernel() const override { return KernelId::MergeSort; }
+  StreamStructure streamStructure() const override { return {true}; }
 
 protected:
   void setUpCursors(GenState &S, const KernelDataLayout &L,
@@ -277,6 +296,7 @@ protected:
 class KMeansGenerator final : public KernelTraceGenerator {
 public:
   KernelId kernel() const override { return KernelId::KMeans; }
+  StreamStructure streamStructure() const override { return {true}; }
 
 protected:
   void setUpCursors(GenState &S, const KernelDataLayout &L,
